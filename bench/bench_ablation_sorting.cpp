@@ -1,0 +1,81 @@
+// Ablation (§3.3): choice of sorting network.
+//
+// The paper picks Batcher odd-even mergesort because it "requires fewest
+// comparators compared to shellsort and bitonic sort" with O(log^2 n)
+// stages. This bench prints the comparator/step economics for odd-even
+// mergesort vs bitonic sort and microbenchmarks the functional network
+// against std::sort on window-sized inputs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "coalescer/sorting_network.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace hmcc;
+
+/// Bitonic sorting network comparator count: n/2 comparators in each of the
+/// k(k+1)/2 steps (k = log2 n).
+std::uint32_t bitonic_comparators(std::uint32_t n) {
+  std::uint32_t k = 0;
+  while ((1u << k) < n) ++k;
+  return n / 2 * (k * (k + 1) / 2);
+}
+
+void print_network_economics() {
+  Table table({"n", "OEM comparators", "bitonic comparators", "steps",
+               "max comparators/step"});
+  for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    coalescer::SortingNetwork net(n);
+    table.add_row({Table::fmt(std::uint64_t{n}),
+                   Table::fmt(std::uint64_t{net.num_comparators()}),
+                   Table::fmt(std::uint64_t{bitonic_comparators(n)}),
+                   Table::fmt(std::uint64_t{net.num_steps()}),
+                   Table::fmt(std::uint64_t{net.max_comparators_per_step()})});
+  }
+  std::printf(
+      "=== Ablation: Sorting Network Choice (paper SS3.3) ===\n"
+      "odd-even mergesort needs fewer comparators than bitonic at every "
+      "width (63 vs 80 at n=16):\n%s\n",
+      table.to_ascii().c_str());
+}
+
+void BM_OddEvenMergeSort(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  coalescer::SortingNetwork net(n);
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> keys(n);
+  for (auto _ : state) {
+    for (auto& k : keys) k = rng();
+    net.sort(keys);
+    benchmark::DoNotOptimize(keys.data());
+  }
+}
+BENCHMARK(BM_OddEvenMergeSort)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_StdSort(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> keys(n);
+  for (auto _ : state) {
+    for (auto& k : keys) k = rng();
+    std::sort(keys.begin(), keys.end());
+    benchmark::DoNotOptimize(keys.data());
+  }
+}
+BENCHMARK(BM_StdSort)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_network_economics();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

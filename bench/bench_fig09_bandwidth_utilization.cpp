@@ -1,0 +1,101 @@
+// Figure 9: bandwidth efficiency of coalesced vs raw requests.
+//
+// Paper: raw requests average 7.43% bandwidth efficiency (tiny CPU payloads
+// shipped in fixed 64 B+32 B transactions); coalescing at the actual
+// requested-data granularity raises the average to 27.73% (~4x), with HPCG a
+// notable laggard at 20.02% because its payloads are mostly 16 B.
+//
+// Method (as in the paper): the raw series is Equation (1) measured on the
+// conventional-MSHR run; the coalesced series re-coalesces the same LLC miss
+// stream at payload granularity (16 B FLIT multiples) through the DMC unit
+// in window-sized batches.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "coalescer/dmc_unit.hpp"
+
+namespace {
+
+using namespace hmcc;
+
+/// Offline payload-granularity coalescing of a captured miss stream.
+struct PayloadAnalysis {
+  std::uint64_t payload = 0;
+  std::uint64_t transferred = 0;
+  [[nodiscard]] double efficiency() const {
+    return transferred ? static_cast<double>(payload) /
+                             static_cast<double>(transferred)
+                       : 0.0;
+  }
+};
+
+PayloadAnalysis analyze(const std::vector<coalescer::CoalescerRequest>& reqs,
+                        std::uint32_t window) {
+  coalescer::CoalescerConfig cfg;
+  cfg.granularity = coalescer::Granularity::kPayload;
+  coalescer::DmcUnit dmc(cfg);
+  PayloadAnalysis out;
+  for (std::size_t i = 0; i < reqs.size(); i += window) {
+    const std::size_t end = std::min(reqs.size(), i + window);
+    std::vector<coalescer::CoalescerRequest> batch(reqs.begin() + static_cast<std::ptrdiff_t>(i),
+                                                   reqs.begin() + static_cast<std::ptrdiff_t>(end));
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const coalescer::CoalescerRequest& a,
+                        const coalescer::CoalescerRequest& b) {
+                       return a.sort_key() < b.sort_key();
+                     });
+    const coalescer::DmcResult res = dmc.coalesce(batch, 0);
+    for (const auto& pkt : res.packets) {
+      out.payload += pkt.payload_bytes();
+      out.transferred += pkt.bytes + hmcspec::kControlBytesPerTransaction;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::parse_env(argc, argv, "fig09");
+
+  Table table({"benchmark", "raw efficiency", "coalesced efficiency",
+               "improvement"});
+  double sum_raw = 0;
+  double sum_coal = 0;
+  const auto& names = workloads::workload_names();
+  for (const std::string& name : names) {
+    // Raw series: conventional run, Equation (1) with actual CPU payloads.
+    system::SystemConfig conv = env.base_config();
+    system::apply_mode(conv, system::CoalescerMode::kConventional);
+    const auto raw = system::run_workload(name, conv, env.params);
+    const double raw_eff = raw.report.payload_bandwidth_efficiency();
+
+    // Coalesced series: capture the miss stream of the same workload and
+    // re-coalesce it at payload granularity.
+    auto gen = workloads::make_workload(name);
+    workloads::WorkloadParams p = env.params;
+    p.num_cores = conv.hierarchy.num_cores;
+    const trace::MultiTrace mtrace = gen->generate(p);
+    std::vector<coalescer::CoalescerRequest> stream;
+    system::System sys(conv);
+    sys.set_miss_hook([&stream](const coalescer::CoalescerRequest& r,
+                                std::uint32_t) { stream.push_back(r); });
+    (void)sys.run(mtrace);
+    const PayloadAnalysis coal = analyze(stream, conv.coalescer.window);
+
+    sum_raw += raw_eff;
+    sum_coal += coal.efficiency();
+    table.add_row({name, Table::pct(raw_eff), Table::pct(coal.efficiency()),
+                   Table::fmt(raw_eff > 0 ? coal.efficiency() / raw_eff : 0.0,
+                              2) +
+                       "x"});
+  }
+  const double n = static_cast<double>(names.size());
+  table.add_row({"average", Table::pct(sum_raw / n), Table::pct(sum_coal / n),
+                 Table::fmt(sum_raw > 0 ? sum_coal / sum_raw : 0.0, 2) + "x"});
+
+  bench::emit(table, env, "Figure 9: Bandwidth Efficiency, Raw vs Coalesced",
+              "paper: raw 7.43% avg, coalesced 27.73% avg (~4x); HPCG low "
+              "(20.02%) due to small payloads");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 10: coalesced HMC request distribution of HPCG.
+//
+// Paper: coalescing HPCG's miss stream by the ACTUAL requested data size
+// (not the cache-line size) shows the majority of requests are small —
+// 40.25% of the coalesced requests are 16 B loads — explaining why HPCG's
+// bandwidth efficiency (20.02%) trails its coalescing efficiency (42.35%).
+#include <algorithm>
+#include <map>
+
+#include "bench_util.hpp"
+#include "coalescer/dmc_unit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmcc;
+  bench::BenchEnv env = bench::parse_env(argc, argv, "fig10");
+
+  system::SystemConfig cfg = env.base_config();
+  system::apply_mode(cfg, system::CoalescerMode::kConventional);
+  auto gen = workloads::make_workload("hpcg");
+  workloads::WorkloadParams p = env.params;
+  p.num_cores = cfg.hierarchy.num_cores;
+  const trace::MultiTrace mtrace = gen->generate(p);
+
+  std::vector<coalescer::CoalescerRequest> stream;
+  system::System sys(cfg);
+  sys.set_miss_hook([&stream](const coalescer::CoalescerRequest& r,
+                              std::uint32_t) { stream.push_back(r); });
+  (void)sys.run(mtrace);
+
+  // Payload-granularity coalescing in window-sized batches.
+  coalescer::CoalescerConfig ccfg;
+  ccfg.granularity = coalescer::Granularity::kPayload;
+  coalescer::DmcUnit dmc(ccfg);
+  std::map<std::pair<std::uint32_t, bool>, std::uint64_t> by_size_type;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < stream.size(); i += ccfg.window) {
+    const std::size_t end = std::min(stream.size(), i + ccfg.window);
+    std::vector<coalescer::CoalescerRequest> batch(
+        stream.begin() + static_cast<std::ptrdiff_t>(i),
+        stream.begin() + static_cast<std::ptrdiff_t>(end));
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const coalescer::CoalescerRequest& a,
+                        const coalescer::CoalescerRequest& b) {
+                       return a.sort_key() < b.sort_key();
+                     });
+    for (const auto& pkt : dmc.coalesce(batch, 0).packets) {
+      ++by_size_type[{pkt.bytes, pkt.type == ReqType::kLoad}];
+      ++total;
+    }
+  }
+
+  Table table({"request", "count", "share"});
+  double share_16b_loads = 0;
+  for (const auto& [key, count] : by_size_type) {
+    const auto [bytes, is_load] = key;
+    const double share =
+        total ? static_cast<double>(count) / static_cast<double>(total) : 0;
+    if (bytes == 16 && is_load) share_16b_loads = share;
+    table.add_row({Table::fmt(std::uint64_t{bytes}) + "B " +
+                       (is_load ? "load" : "store"),
+                   Table::fmt(count), Table::pct(share)});
+  }
+  table.add_row({"total", Table::fmt(total), "100.00%"});
+
+  bench::emit(table, env,
+              "Figure 10: Coalesced HMC Request Distribution of HPCG",
+              "paper: 40.25% of coalesced requests are 16B loads");
+  std::printf("16B-load share: %.2f%% (paper: 40.25%%)\n",
+              share_16b_loads * 100.0);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 14: average latency of the memory coalescer vs timeout T.
+//
+// Paper: sweeping the window timeout over 16..28 cycles, per-request
+// coalescer latency stays flat for small T (coalescing work dominates) and
+// rises once the sorting-network wait dominates at T=28 — except FT, whose
+// deep merging keeps it insensitive. "It is ideal to equate the timeout
+// with the average coalescing latency."
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmcc;
+  bench::BenchEnv env = bench::parse_env(argc, argv, "fig14");
+
+  const Cycle timeouts[] = {16, 20, 24, 28};
+  Table table({"benchmark", "T=16 (ns)", "T=20 (ns)", "T=24 (ns)",
+               "T=28 (ns)"});
+  const auto& names = workloads::workload_names();
+  std::vector<double> avg(4, 0.0);
+  for (const std::string& name : names) {
+    std::vector<std::string> row{name};
+    for (std::size_t t = 0; t < 4; ++t) {
+      system::SystemConfig full = env.base_config();
+      full.coalescer.timeout = timeouts[t];
+      system::apply_mode(full, system::CoalescerMode::kFull);
+      const auto r = system::run_workload(name, full, env.params);
+      const double ns =
+          r.report.coalescer.front_latency.mean() * arch::kNsPerCycle;
+      avg[t] += ns;
+      row.push_back(Table::fmt(ns, 2));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> arow{"average"};
+  for (std::size_t t = 0; t < 4; ++t) {
+    arow.push_back(Table::fmt(avg[t] / static_cast<double>(names.size()), 2));
+  }
+  table.add_row(arow);
+
+  bench::emit(table, env,
+              "Figure 14: Coalescer Latency vs Timeout (16..28 cycles)",
+              "paper: latency flat for T<=24, rises at T=28 (except FT)");
+  return 0;
+}

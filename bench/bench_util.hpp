@@ -1,0 +1,59 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every bench prints an ASCII table mirroring one figure of the paper and
+// writes the same rows as CSV (<bench-name>.csv in the working directory).
+// Command-line "key=value" pairs override workload size and platform knobs
+// so the full suite stays fast by default but can be scaled up:
+//   accesses=<n>  per-core CPU accesses (default 15000)
+//   seed=<n>      workload RNG seed
+//   csv=<path>    CSV output path ("" disables)
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "system/config_bridge.hpp"
+#include "system/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace hmcc::bench {
+
+struct BenchEnv {
+  Config cli;
+  workloads::WorkloadParams params;
+  std::string csv_path;
+
+  /// The paper platform with any CLI overrides applied (see
+  /// system/config_bridge.hpp for the full key list).
+  system::SystemConfig base_config() const {
+    return system::config_from_cli(cli);
+  }
+};
+
+inline BenchEnv parse_env(int argc, char** argv, const char* bench_name,
+                          std::uint64_t default_accesses = 15000) {
+  BenchEnv env;
+  env.cli.parse_args(argc, argv);
+  env.params.accesses_per_core =
+      env.cli.get_uint("accesses", default_accesses);
+  env.params.seed = env.cli.get_uint("seed", 1);
+  env.csv_path =
+      env.cli.get_string("csv", std::string(bench_name) + ".csv");
+  return env;
+}
+
+inline void emit(const Table& table, const BenchEnv& env,
+                 const char* title, const char* paper_note) {
+  std::printf("=== %s ===\n%s\n", title, paper_note);
+  std::fputs(table.to_ascii().c_str(), stdout);
+  if (!env.csv_path.empty()) {
+    if (table.write_csv(env.csv_path)) {
+      std::printf("(rows written to %s)\n", env.csv_path.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace hmcc::bench

@@ -1,0 +1,58 @@
+// Domain example: sparse matrix-vector multiplication (the HPCG pattern the
+// paper's introduction motivates) under all four miss-handling datapaths.
+//
+// Demonstrates the Figure 8 configuration sweep on one workload, plus the
+// request-size mix and bank-conflict telemetry that explain WHY coalescing
+// helps: fewer, larger packets mean fewer row activations in the HMC.
+//
+// Usage: spmv_hpcg [accesses=30000] [seed=1]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "system/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmcc;
+  Config cli;
+  cli.parse_args(argc, argv);
+  workloads::WorkloadParams params;
+  params.accesses_per_core = cli.get_uint("accesses", 30000);
+  params.seed = cli.get_uint("seed", 1);
+
+  const system::CoalescerMode modes[] = {
+      system::CoalescerMode::kNone, system::CoalescerMode::kConventional,
+      system::CoalescerMode::kDmcOnly, system::CoalescerMode::kFull};
+
+  Table table({"datapath", "HMC requests", "coalescing eff", "64/128/256B",
+               "row activations", "bank conflicts", "runtime (cycles)"});
+  std::uint64_t baseline_runtime = 0;
+  for (const auto mode : modes) {
+    system::SystemConfig cfg = system::paper_system_config();
+    system::apply_mode(cfg, mode);
+    const auto r = system::run_workload("hpcg", cfg, params);
+    const auto& rep = r.report;
+    if (mode == system::CoalescerMode::kConventional) {
+      baseline_runtime = rep.runtime;
+    }
+    table.add_row(
+        {system::to_string(mode), Table::fmt(rep.memory_requests),
+         Table::pct(rep.coalescing_efficiency()),
+         Table::fmt(rep.coalescer.size_64) + "/" +
+             Table::fmt(rep.coalescer.size_128) + "/" +
+             Table::fmt(rep.coalescer.size_256),
+         Table::fmt(rep.hmc.row_activations),
+         Table::fmt(rep.hmc.bank_conflicts), Table::fmt(rep.runtime)});
+    if (mode == system::CoalescerMode::kFull && baseline_runtime) {
+      std::printf("HPCG SpMV: two-phase coalescer removes %.2f%% of HMC "
+                  "requests and improves the memory phase by %.2f%%\n\n",
+                  rep.coalescing_efficiency() * 100.0,
+                  (static_cast<double>(baseline_runtime) /
+                       static_cast<double>(rep.runtime) -
+                   1.0) *
+                      100.0);
+    }
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

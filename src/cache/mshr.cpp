@@ -1,0 +1,67 @@
+#include "cache/mshr.hpp"
+
+#include <cassert>
+
+namespace hmcc::cache {
+
+MshrFile::Entry* MshrFile::find(Addr line_addr) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.line == line_addr) return &e;
+  }
+  return nullptr;
+}
+
+MshrFile::Outcome MshrFile::on_miss(Addr line_addr, MshrTarget target) {
+  if (Entry* e = find(line_addr)) {
+    if (e->targets.size() >= max_subentries_) {
+      ++stats_.stalls_full;
+      return Outcome::kFull;  // subentry overflow behaves like a full file
+    }
+    e->targets.push_back(target);
+    ++stats_.merges;
+    return Outcome::kMerged;
+  }
+  if (full()) {
+    ++stats_.stalls_full;
+    return Outcome::kFull;
+  }
+  for (Entry& e : entries_) {
+    if (!e.valid) {
+      e.valid = true;
+      e.line = line_addr;
+      e.targets.clear();
+      e.targets.push_back(target);
+      ++used_;
+      ++stats_.allocations;
+      return Outcome::kAllocated;
+    }
+  }
+  assert(false && "full() returned false but no free entry found");
+  return Outcome::kFull;
+}
+
+std::optional<std::vector<MshrTarget>> MshrFile::on_fill(Addr line_addr) {
+  Entry* e = find(line_addr);
+  if (!e) return std::nullopt;
+  std::vector<MshrTarget> targets = std::move(e->targets);
+  e->valid = false;
+  e->targets.clear();
+  --used_;
+  ++stats_.frees;
+  return targets;
+}
+
+bool MshrFile::contains(Addr line_addr) const {
+  return const_cast<MshrFile*>(this)->find(line_addr) != nullptr;
+}
+
+void MshrFile::reset() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+    e.targets.clear();
+  }
+  used_ = 0;
+  stats_ = MshrStats{};
+}
+
+}  // namespace hmcc::cache

@@ -1,0 +1,74 @@
+// Conventional Miss Status Holding Register file (Kroft-style).
+//
+// This is the paper's baseline "MSHR-based coalescing": one entry per
+// outstanding missed cache line, extra misses to the same line attach as
+// subentries, and exactly one fixed-size (cache-line) memory request is
+// issued per entry.  The coalescer's *dynamic* MSHRs (coalescer/dynamic_mshr)
+// extend this structure with size / line-ID / T fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hmcc::cache {
+
+/// Opaque per-miss bookkeeping token handed back on free().
+struct MshrTarget {
+  std::uint64_t token = 0;
+};
+
+struct MshrStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t merges = 0;       ///< subentry attaches (coalesced misses)
+  std::uint64_t stalls_full = 0;  ///< rejected because the file was full
+  std::uint64_t frees = 0;
+};
+
+class MshrFile {
+ public:
+  explicit MshrFile(std::uint32_t num_entries,
+                    std::uint32_t max_subentries = 8)
+      : entries_(num_entries), max_subentries_(max_subentries) {}
+
+  enum class Outcome : std::uint8_t {
+    kAllocated,  ///< new entry created -> caller must issue a memory request
+    kMerged,     ///< attached to an in-flight entry -> no new request
+    kFull,       ///< no entry and file full -> caller must stall/retry
+  };
+
+  /// Register a miss on @p line_addr (line-aligned).
+  Outcome on_miss(Addr line_addr, MshrTarget target);
+
+  /// Complete the entry for @p line_addr; returns all targets (empty optional
+  /// if no such entry — a protocol error the caller can assert on).
+  std::optional<std::vector<MshrTarget>> on_fill(Addr line_addr);
+
+  [[nodiscard]] bool contains(Addr line_addr) const;
+  [[nodiscard]] std::uint32_t in_use() const noexcept { return used_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] bool full() const noexcept { return used_ == capacity(); }
+  [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
+
+  void reset();
+
+ private:
+  struct Entry {
+    Addr line = 0;
+    bool valid = false;
+    std::vector<MshrTarget> targets;
+  };
+
+  Entry* find(Addr line_addr);
+
+  std::vector<Entry> entries_;
+  std::uint32_t max_subentries_;
+  std::uint32_t used_ = 0;
+  MshrStats stats_;
+};
+
+}  // namespace hmcc::cache

@@ -1,0 +1,57 @@
+#include "cache/replacement.hpp"
+
+namespace hmcc::cache {
+
+void TreePlruPolicy::touch(std::uint32_t set, std::uint32_t way) {
+  // Walk root->leaf; at each internal node point the bit AWAY from the
+  // touched way. Node layout: 1-indexed heap in tree_[set*ways_ .. +ways_-2].
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  std::uint32_t node = 1;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = ways_;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const bool go_right = way >= mid;
+    tree_[base + node - 1] = !go_right;  // bit points at the LRU half
+    node = node * 2 + (go_right ? 1 : 0);
+    if (go_right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+}
+
+std::uint32_t TreePlruPolicy::victim(std::uint32_t set) {
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  std::uint32_t node = 1;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = ways_;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const bool go_right = tree_[base + node - 1];
+    node = node * 2 + (go_right ? 1 : 0);
+    if (go_right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(ReplacementKind kind,
+                                               std::uint32_t sets,
+                                               std::uint32_t ways) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>(sets, ways);
+    case ReplacementKind::kTreePlru:
+      return std::make_unique<TreePlruPolicy>(sets, ways);
+    case ReplacementKind::kRandom:
+      return std::make_unique<RandomPolicy>(sets, ways);
+  }
+  return std::make_unique<LruPolicy>(sets, ways);
+}
+
+}  // namespace hmcc::cache

@@ -1,0 +1,85 @@
+// Replacement policies for set-associative caches.
+//
+// Each policy tracks per-set metadata for a fixed associativity and answers
+// "which way is the victim" / "this way was touched".  Policies are
+// deterministic (kRandom uses a seeded xoshiro stream).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "common/rng.hpp"
+
+namespace hmcc::cache {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  /// Record a hit/fill touch of @p way in @p set.
+  virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+  /// Choose an eviction victim in @p set (valid ways only are passed in via
+  /// @p valid_mask; if some way is invalid the cache picks it directly and
+  /// this is not called).
+  virtual std::uint32_t victim(std::uint32_t set) = 0;
+};
+
+/// True LRU via per-set recency stamps.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::uint32_t sets, std::uint32_t ways)
+      : ways_(ways), stamp_(static_cast<std::size_t>(sets) * ways, 0) {}
+  void touch(std::uint32_t set, std::uint32_t way) override {
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+  }
+  std::uint32_t victim(std::uint32_t set) override {
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+      if (stamp_[base + w] < stamp_[base + best]) best = w;
+    }
+    return best;
+  }
+
+ private:
+  std::uint32_t ways_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+/// Tree pseudo-LRU (binary decision tree per set); ways must be a power of 2.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  TreePlruPolicy(std::uint32_t sets, std::uint32_t ways)
+      : ways_(ways), tree_(static_cast<std::size_t>(sets) * ways, false) {}
+  void touch(std::uint32_t set, std::uint32_t way) override;
+  std::uint32_t victim(std::uint32_t set) override;
+
+ private:
+  std::uint32_t ways_;
+  std::vector<bool> tree_;  ///< ways-1 internal nodes used per set
+};
+
+/// Deterministic pseudo-random replacement.
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::uint32_t sets, std::uint32_t ways,
+               std::uint64_t seed = 0xC0FFEE)
+      : ways_(ways), rng_(seed) {
+    (void)sets;
+  }
+  void touch(std::uint32_t, std::uint32_t) override {}
+  std::uint32_t victim(std::uint32_t) override {
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+  }
+
+ private:
+  std::uint32_t ways_;
+  Xoshiro256 rng_;
+};
+
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(
+    ReplacementKind kind, std::uint32_t sets, std::uint32_t ways);
+
+}  // namespace hmcc::cache

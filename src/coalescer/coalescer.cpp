@@ -1,0 +1,263 @@
+#include "coalescer/coalescer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/bits.hpp"
+
+namespace hmcc::coalescer {
+
+MemoryCoalescer::MemoryCoalescer(Kernel& kernel, CoalescerConfig cfg,
+                                 IssueFn issue, CompleteFn complete)
+    : kernel_(kernel),
+      cfg_(cfg),
+      issue_(std::move(issue)),
+      complete_(std::move(complete)),
+      sorter_(cfg.window, cfg.pipeline_shape, cfg.tau),
+      dmc_(cfg),
+      mshrs_(cfg),
+      crq_(cfg.num_mshrs) {
+  assert(cfg_.granularity == Granularity::kLine &&
+         "the runtime coalescer operates at line granularity; payload "
+         "granularity is a standalone DmcUnit accounting mode");
+  assert(issue_ && complete_);
+  window_.reserve(cfg_.window);
+}
+
+bool MemoryCoalescer::bypass_active() const noexcept {
+  return cfg_.enable_bypass && crq_.empty() && crq_overflow_.empty() &&
+         mshrs_.has_free_entry() && window_.empty();
+}
+
+void MemoryCoalescer::submit(CoalescerRequest req) {
+  ++stats_.raw_requests;
+  ++in_flight_inputs_;
+  req.arrival = kernel_.now();
+  req.addr = align_down(req.addr, cfg_.line_bytes);
+
+  if (fence_pending_) {
+    fence_hold_.push_back(std::move(req));
+    return;
+  }
+
+  if (!cfg_.enable_dmc) {
+    // Conventional MSHR path: no window, no sorting — each miss is a
+    // line-sized packet offered to the (dynamic) MSHR file directly.
+    CoalescedPacket pkt{};
+    pkt.addr = req.addr;
+    pkt.bytes = cfg_.line_bytes;
+    pkt.type = req.type;
+    pkt.ready_at = kernel_.now();
+    pkt.constituents.push_back(std::move(req));
+    std::vector<CoalescedPacket> one;
+    one.push_back(std::move(pkt));
+    enqueue_packets(std::move(one));
+    return;
+  }
+
+  if (bypass_active()) {
+    // §4.2: while the MSHRs have room and the CRQ is empty, raw requests
+    // skip the sorting pipeline entirely.
+    ++stats_.bypassed;
+    CoalescedPacket pkt{};
+    pkt.addr = req.addr;
+    pkt.bytes = cfg_.line_bytes;
+    pkt.type = req.type;
+    pkt.ready_at = kernel_.now();
+    pkt.constituents.push_back(std::move(req));
+    std::vector<CoalescedPacket> one;
+    one.push_back(std::move(pkt));
+    enqueue_packets(std::move(one));
+    return;
+  }
+
+  window_.push_back(std::move(req));
+  if (window_.size() >= cfg_.window) {
+    flush_window();
+  } else {
+    arm_timeout();
+  }
+}
+
+void MemoryCoalescer::arm_timeout() {
+  if (timeout_armed_) return;
+  timeout_armed_ = true;
+  const std::uint64_t gen = ++timeout_gen_;
+  kernel_.schedule(cfg_.timeout, [this, gen] {
+    if (gen != timeout_gen_) return;  // superseded by a flush or re-arm
+    timeout_armed_ = false;
+    if (!window_.empty()) flush_window();
+  });
+}
+
+void MemoryCoalescer::flush_window() {
+  assert(!window_.empty());
+  ++timeout_gen_;  // cancel any pending timeout event
+  timeout_armed_ = false;
+  ++stats_.batches;
+
+  std::vector<CoalescerRequest> batch = std::move(window_);
+  window_.clear();
+  window_.reserve(cfg_.window);
+
+  // Build the padded key window (§3.4: invalid keys sort to the tail) and
+  // run it through the pipelined network for timing; functionally the batch
+  // is ordered by the same 54-bit keys.
+  std::vector<std::uint64_t> keys(cfg_.window, kInvalidKey);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    keys[i] = batch[i].sort_key();
+  }
+  const Cycle sorted_at = sorter_.process(
+      keys, static_cast<std::uint32_t>(batch.size()), kernel_.now());
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const CoalescerRequest& a, const CoalescerRequest& b) {
+                     return a.sort_key() < b.sort_key();
+                   });
+
+  kernel_.schedule_at(sorted_at, [this, batch = std::move(batch)]() mutable {
+    const Cycle start = kernel_.now();
+    DmcResult res = dmc_.coalesce(batch, start);
+    const Cycle busy = res.finished_at - start;
+    stats_.dmc_latency.add(static_cast<double>(busy));
+    kernel_.schedule_at(
+        res.finished_at,
+        [this, packets = std::move(res.packets), busy]() mutable {
+          enqueue_packets(std::move(packets), busy);
+        });
+  });
+}
+
+void MemoryCoalescer::enqueue_packets(std::vector<CoalescedPacket> packets,
+                                      Cycle dmc_busy) {
+  dmc_busy_total_ += dmc_busy;
+  for (CoalescedPacket& pkt : packets) {
+    ++stats_.packets_to_crq;
+    // Fig 13 accounting: DMC busy cycles spent producing CRQ-capacity
+    // consecutive packets (idle arrival gaps excluded — the paper measures
+    // how fast the unit can refill the CRQ, which must hide under the
+    // memory access latency).
+    if (crq_push_busy_.size() == crq_.capacity()) {
+      stats_.crq_fill_time.add(
+          static_cast<double>(dmc_busy_total_ - crq_push_busy_.front()));
+      crq_push_busy_.pop_front();
+    }
+    crq_push_busy_.push_back(dmc_busy_total_);
+    for (const CoalescerRequest& r : pkt.constituents) {
+      stats_.front_latency.add(static_cast<double>(kernel_.now() - r.arrival));
+    }
+
+    if (crq_.full() || !crq_overflow_.empty()) {
+      crq_overflow_.push_back(std::move(pkt));
+    } else {
+      crq_.push(std::move(pkt));
+    }
+  }
+  drain_crq();
+}
+
+void MemoryCoalescer::drain_crq() {
+  // Refill the CRQ from the elastic overflow buffer first (FIFO order).
+  auto refill = [this] {
+    while (!crq_overflow_.empty() && !crq_.full()) {
+      crq_.push(std::move(crq_overflow_.front()));
+      crq_overflow_.pop_front();
+    }
+  };
+  refill();
+
+  while (!crq_.empty()) {
+    DynamicMshrFile::InsertResult res = mshrs_.try_insert(crq_.front());
+    if (res.accepted) {
+      note_issued_or_merged(crq_.front(), kernel_.now());
+      crq_.pop();
+      refill();
+      for (CoalescedPacket& pkt : res.to_issue) {
+        issue_packet(std::move(pkt));
+      }
+      continue;
+    }
+    // Head blocked on a free entry. §4.2: the rest of the CRQ still gets
+    // compared against all MSHRs and fully-covered packets merge in place.
+    for (std::size_t i = 1; i < crq_.size();) {
+      if (mshrs_.try_merge_only(crq_.at(i))) {
+        ++stats_.crq_merges;
+        note_issued_or_merged(crq_.at(i), kernel_.now());
+        crq_.erase_at(i);
+      } else {
+        ++i;
+      }
+    }
+    break;  // wait for an on_memory_response() to free an entry
+  }
+  maybe_release_fence();
+}
+
+void MemoryCoalescer::issue_packet(CoalescedPacket pkt) {
+  ++stats_.memory_requests;
+  if (pkt.bytes <= cfg_.line_bytes) {
+    ++stats_.size_64;
+  } else if (pkt.bytes <= 2 * cfg_.line_bytes) {
+    ++stats_.size_128;
+  } else {
+    ++stats_.size_256;
+  }
+  issue_(pkt);
+}
+
+void MemoryCoalescer::note_issued_or_merged(const CoalescedPacket& pkt,
+                                            Cycle when) {
+  for (const CoalescerRequest& r : pkt.constituents) {
+    stats_.request_latency.add(static_cast<double>(when - r.arrival));
+    assert(in_flight_inputs_ > 0);
+    --in_flight_inputs_;
+  }
+}
+
+void MemoryCoalescer::submit_fence() {
+  ++stats_.fences;
+  if (cfg_.enable_dmc && !window_.empty()) {
+    flush_window();
+  }
+  if (cfg_.enable_dmc) {
+    sorter_.process_fence(kernel_.now());
+  }
+  fence_pending_ = true;
+  maybe_release_fence();
+}
+
+void MemoryCoalescer::maybe_release_fence() {
+  if (!fence_pending_) return;
+  // All pre-fence requests are committed once nothing is in flight except
+  // the requests held behind the fence.
+  if (in_flight_inputs_ != fence_hold_.size()) return;
+  if (mshrs_.in_use() != 0 || !crq_.empty() || !crq_overflow_.empty() ||
+      !window_.empty()) {
+    return;
+  }
+  fence_pending_ = false;
+  std::deque<CoalescerRequest> held = std::move(fence_hold_);
+  fence_hold_.clear();
+  for (CoalescerRequest& r : held) {
+    // Replay without re-counting: submit() already accounted these.
+    --stats_.raw_requests;
+    --in_flight_inputs_;
+    submit(std::move(r));
+  }
+}
+
+void MemoryCoalescer::on_memory_response(ReqId id) {
+  auto fill = mshrs_.on_fill(id);
+  assert(fill.has_value() && "response for an unknown packet id");
+  for (const DynMshrTarget& t : fill->targets) {
+    complete_(t.line_addr, t.token);
+  }
+  drain_crq();
+}
+
+bool MemoryCoalescer::idle() const noexcept {
+  return window_.empty() && crq_.empty() && crq_overflow_.empty() &&
+         mshrs_.in_use() == 0 && !fence_pending_ && in_flight_inputs_ == 0;
+}
+
+}  // namespace hmcc::coalescer

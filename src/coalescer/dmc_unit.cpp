@@ -1,0 +1,188 @@
+#include "coalescer/dmc_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "hmc/packet.hpp"
+
+namespace hmcc::coalescer {
+
+DmcResult DmcUnit::coalesce(std::span<const CoalescerRequest> sorted,
+                            Cycle start) const {
+  // Precondition: ascending sort-key order (checked in debug builds).
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    assert(sorted[i - 1].sort_key() <= sorted[i].sort_key());
+  }
+#endif
+  return cfg_.granularity == Granularity::kLine
+             ? coalesce_lines(sorted, start)
+             : coalesce_payload(sorted, start);
+}
+
+void DmcUnit::emit_line_run(
+    Addr first_line_addr, std::uint32_t count, ReqType type,
+    std::vector<std::vector<CoalescerRequest>>& line_groups, Cycle ready_at,
+    std::vector<CoalescedPacket>& out) const {
+  assert(count == line_groups.size());
+  const std::uint32_t line = cfg_.line_bytes;
+  std::uint32_t emitted = 0;
+  while (emitted < count) {
+    // Largest power-of-two chunk of lines that still fits the run and the
+    // maximum packet. (Runs never cross a block, so no boundary check.)
+    std::uint32_t chunk = 1;
+    while (chunk * 2 <= std::min(count - emitted, cfg_.max_lines_per_packet())) {
+      chunk *= 2;
+    }
+    CoalescedPacket pkt{};
+    pkt.addr = first_line_addr + static_cast<Addr>(emitted) * line;
+    pkt.bytes = chunk * line;
+    pkt.type = type;
+    pkt.ready_at = ready_at;
+    for (std::uint32_t i = 0; i < chunk; ++i) {
+      auto& group = line_groups[emitted + i];
+      pkt.constituents.insert(pkt.constituents.end(),
+                              std::make_move_iterator(group.begin()),
+                              std::make_move_iterator(group.end()));
+    }
+    out.push_back(std::move(pkt));
+    emitted += chunk;
+  }
+}
+
+DmcResult DmcUnit::coalesce_lines(std::span<const CoalescerRequest> sorted,
+                                  Cycle start) const {
+  DmcResult result;
+  const std::uint32_t line = cfg_.line_bytes;
+  const Addr block = cfg_.max_packet_bytes;
+  Cycle t = start + cfg_.tau;  // pipeline fill
+
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    // Open a run at request i.
+    const ReqType type = sorted[i].type;
+    const Addr run_base = align_down(sorted[i].addr, line);
+    const Addr run_block = align_down(run_base, block);
+    std::vector<std::vector<CoalescerRequest>> groups;
+    groups.push_back({sorted[i]});
+    Addr last_line = run_base;
+    t += cfg_.tau;  // compare slot of the run opener
+    ++i;
+
+    while (i < sorted.size()) {
+      const CoalescerRequest& next = sorted[i];
+      if (next.type != type) break;
+      const Addr next_line = align_down(next.addr, line);
+      t += cfg_.tau;  // every candidate spends a compare slot
+      if (next_line == last_line) {
+        // Identical line: dedup-merge into the current line group.
+        groups.back().push_back(next);
+        t += cfg_.tau;  // merge stage
+        ++result.merge_ops;
+        ++i;
+        continue;
+      }
+      if (next_line == last_line + line &&
+          align_down(next_line, block) == run_block) {
+        groups.push_back({next});
+        last_line = next_line;
+        t += cfg_.tau;  // merge stage
+        ++result.merge_ops;
+        ++i;
+        continue;
+      }
+      // Not coalescable with this run: the compare already happened; the
+      // request re-opens a run on the next outer iteration (its compare slot
+      // there is the same hardware slot, so refund it).
+      t -= cfg_.tau;
+      break;
+    }
+    emit_line_run(run_base, static_cast<std::uint32_t>(groups.size()), type,
+                  groups, t, result.packets);
+  }
+  result.finished_at = t;
+  return result;
+}
+
+DmcResult DmcUnit::coalesce_payload(std::span<const CoalescerRequest> sorted,
+                                    Cycle start) const {
+  DmcResult result;
+  const Addr block = cfg_.max_packet_bytes;
+  const Addr flit = hmcspec::kFlitBytes;
+  Cycle t = start + cfg_.tau;
+
+  struct Extent {
+    Addr base = 0;  ///< FLIT-aligned start
+    Addr end = 0;   ///< un-aligned end of covered payload
+    ReqType type = ReqType::kLoad;
+    std::vector<CoalescerRequest> constituents;
+    bool open = false;
+  } cur;
+
+  auto emit = [&](Cycle ready_at) {
+    if (!cur.open) return;
+    const Addr end_aligned = align_up(cur.end, flit);
+    const auto len = static_cast<std::uint32_t>(end_aligned - cur.base);
+    CoalescedPacket pkt{};
+    pkt.bytes = hmc::round_up_request_size(len);
+    // If rounding (e.g. 144 B -> 256 B) would spill past the block from the
+    // extent base, anchor the packet at the block start instead; the extent
+    // is inside one block by construction, so containment holds.
+    pkt.addr = cur.base + pkt.bytes <= align_down(cur.base, block) + block
+                   ? cur.base
+                   : align_down(cur.base, block);
+    pkt.type = cur.type;
+    pkt.ready_at = ready_at;
+    pkt.constituents = std::move(cur.constituents);
+    result.packets.push_back(std::move(pkt));
+    cur = Extent{};
+  };
+
+  // Split any request that itself straddles a block boundary, then process
+  // the (still sorted) stream.
+  std::vector<CoalescerRequest> reqs;
+  reqs.reserve(sorted.size());
+  for (const CoalescerRequest& r : sorted) {
+    const Addr end = r.addr + r.payload_bytes;
+    const Addr boundary = align_down(r.addr, block) + block;
+    if (end > boundary) {
+      CoalescerRequest head = r;
+      head.payload_bytes = static_cast<std::uint32_t>(boundary - r.addr);
+      CoalescerRequest tail = r;
+      tail.addr = boundary;
+      tail.payload_bytes = static_cast<std::uint32_t>(end - boundary);
+      reqs.push_back(head);
+      reqs.push_back(tail);
+    } else {
+      reqs.push_back(r);
+    }
+  }
+
+  for (const CoalescerRequest& r : reqs) {
+    const Addr r_base = align_down(r.addr, flit);
+    const Addr r_end = r.addr + r.payload_bytes;
+    t += cfg_.tau;  // compare slot
+    if (cur.open && r.type == cur.type && r.addr <= align_up(cur.end, flit) &&
+        align_down(r_base, block) == align_down(cur.base, block) &&
+        align_up(std::max(cur.end, r_end), flit) - cur.base <=
+            cfg_.max_packet_bytes) {
+      cur.end = std::max(cur.end, r_end);
+      cur.constituents.push_back(r);
+      t += cfg_.tau;  // merge stage
+      ++result.merge_ops;
+      continue;
+    }
+    emit(t - cfg_.tau);
+    cur.open = true;
+    cur.base = r_base;
+    cur.end = r_end;
+    cur.type = r.type;
+    cur.constituents.push_back(r);
+  }
+  emit(t);
+  result.finished_at = t;
+  return result;
+}
+
+}  // namespace hmcc::coalescer

@@ -1,0 +1,241 @@
+#include "coalescer/dynamic_mshr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.hpp"
+
+namespace hmcc::coalescer {
+
+DynamicMshrFile::DynamicMshrFile(const CoalescerConfig& cfg)
+    : cfg_(cfg), entries_(cfg.num_mshrs) {}
+
+bool DynamicMshrFile::covers(const Entry& e, Addr line_addr) const noexcept {
+  return line_addr >= e.base &&
+         line_addr < e.base + static_cast<Addr>(e.size_lines) * cfg_.line_bytes;
+}
+
+std::vector<CoalescedPacket> DynamicMshrFile::repacketize(
+    std::vector<CoalescerRequest> leftovers, ReqType type,
+    Cycle ready_at) const {
+  std::vector<CoalescedPacket> out;
+  if (leftovers.empty()) return out;
+  const std::uint32_t line = cfg_.line_bytes;
+  std::sort(leftovers.begin(), leftovers.end(),
+            [](const CoalescerRequest& a, const CoalescerRequest& b) {
+              return a.addr < b.addr;
+            });
+
+  // Group constituents by line, then split contiguous line runs (inside one
+  // max-packet block) into power-of-two packets — the same legality rules as
+  // the DMC unit.
+  struct LineGroup {
+    Addr line;
+    std::vector<CoalescerRequest> reqs;
+  };
+  std::vector<LineGroup> groups;
+  for (CoalescerRequest& r : leftovers) {
+    const Addr la = align_down(r.addr, line);
+    if (groups.empty() || groups.back().line != la) {
+      groups.push_back(LineGroup{la, {}});
+    }
+    groups.back().reqs.push_back(std::move(r));
+  }
+
+  std::size_t i = 0;
+  while (i < groups.size()) {
+    // Find the contiguous run [i, j) within one block.
+    const Addr block = align_down(groups[i].line, cfg_.max_packet_bytes);
+    std::size_t j = i + 1;
+    while (j < groups.size() && groups[j].line == groups[j - 1].line + line &&
+           align_down(groups[j].line, cfg_.max_packet_bytes) == block) {
+      ++j;
+    }
+    std::uint32_t remaining = static_cast<std::uint32_t>(j - i);
+    std::size_t pos = i;
+    while (remaining > 0) {
+      std::uint32_t chunk = 1;
+      while (chunk * 2 <= std::min(remaining, cfg_.max_lines_per_packet())) {
+        chunk *= 2;
+      }
+      CoalescedPacket pkt{};
+      pkt.addr = groups[pos].line;
+      pkt.bytes = chunk * line;
+      pkt.type = type;
+      pkt.ready_at = ready_at;
+      for (std::uint32_t k = 0; k < chunk; ++k) {
+        auto& reqs = groups[pos + k].reqs;
+        pkt.constituents.insert(pkt.constituents.end(),
+                                std::make_move_iterator(reqs.begin()),
+                                std::make_move_iterator(reqs.end()));
+      }
+      out.push_back(std::move(pkt));
+      pos += chunk;
+      remaining -= chunk;
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::size_t DynamicMshrFile::plan_overlap(const CoalescedPacket& pkt,
+                                          std::vector<Entry*>& hit_entry) {
+  // For each constituent line, find a same-type in-flight entry with
+  // subentry room that covers it. Phase-2 merging can be disabled for the
+  // Figure 8 configuration sweep.
+  hit_entry.assign(pkt.constituents.size(), nullptr);
+  if (!cfg_.enable_mshr_merge) return 0;
+  std::vector<std::size_t> planned_attach(entries_.size(), 0);
+  std::size_t covered = 0;
+  for (std::size_t c = 0; c < pkt.constituents.size(); ++c) {
+    const Addr line = align_down(pkt.constituents[c].addr, cfg_.line_bytes);
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      Entry& entry = entries_[e];
+      if (!entry.valid || entry.type != pkt.type || !covers(entry, line)) {
+        continue;
+      }
+      if (entry.subs.size() + planned_attach[e] >= cfg_.max_subentries) {
+        continue;
+      }
+      hit_entry[c] = &entry;
+      ++planned_attach[e];
+      ++covered;
+      break;
+    }
+  }
+  return covered;
+}
+
+void DynamicMshrFile::commit_attaches(const CoalescedPacket& pkt,
+                                      const std::vector<Entry*>& hit_entry) {
+  for (std::size_t c = 0; c < pkt.constituents.size(); ++c) {
+    if (Entry* e = hit_entry[c]) {
+      const CoalescerRequest& r = pkt.constituents[c];
+      const Addr line = align_down(r.addr, cfg_.line_bytes);
+      Subentry s{};
+      s.line_id = static_cast<std::uint8_t>((line - e->base) / cfg_.line_bytes);
+      s.token = r.token;
+      s.line_addr = line;
+      e->subs.push_back(s);
+      ++stats_.merged_constituents;
+    }
+  }
+}
+
+bool DynamicMshrFile::try_merge_only(const CoalescedPacket& pkt) {
+  std::vector<Entry*> hit_entry;
+  const std::size_t covered = plan_overlap(pkt, hit_entry);
+  if (covered != pkt.constituents.size()) return false;
+  commit_attaches(pkt, hit_entry);
+  ++stats_.full_merges;
+  return true;
+}
+
+DynamicMshrFile::InsertResult DynamicMshrFile::try_insert(
+    const CoalescedPacket& pkt) {
+  assert(pkt.bytes % cfg_.line_bytes == 0 &&
+         "dynamic MSHRs operate at line granularity");
+  InsertResult result;
+
+  // --- Planning pass (no mutation) --------------------------------------
+  std::vector<Entry*> hit_entry;
+  const std::size_t covered = plan_overlap(pkt, hit_entry);
+
+  std::vector<CoalescerRequest> remainder;
+  for (std::size_t c = 0; c < pkt.constituents.size(); ++c) {
+    if (!hit_entry[c]) remainder.push_back(pkt.constituents[c]);
+  }
+
+  std::vector<CoalescedPacket> new_packets;
+  if (covered == 0) {
+    // No overlap at all: the packet allocates as-is (no re-split).
+    new_packets.push_back(pkt);
+  } else if (!remainder.empty()) {
+    new_packets = repacketize(std::move(remainder), pkt.type, pkt.ready_at);
+  }
+
+  if (new_packets.size() > capacity() - used_) {
+    ++stats_.rejects_full;
+    return result;  // accepted = false; CRQ retries later
+  }
+
+  // --- Commit pass -------------------------------------------------------
+  if (covered == pkt.constituents.size()) {
+    ++stats_.full_merges;
+  } else if (covered > 0) {
+    ++stats_.partial_merges;
+  }
+  commit_attaches(pkt, hit_entry);
+  for (CoalescedPacket& np : new_packets) {
+    Entry* slot = nullptr;
+    for (Entry& e : entries_) {
+      if (!e.valid) {
+        slot = &e;
+        break;
+      }
+    }
+    assert(slot && "capacity was checked in the planning pass");
+    slot->valid = true;
+    slot->type = np.type;
+    slot->base = np.addr;
+    slot->size_lines = np.bytes / cfg_.line_bytes;
+    slot->issue_id = next_issue_id_++;
+    slot->subs.clear();
+    for (const CoalescerRequest& r : np.constituents) {
+      const Addr line = align_down(r.addr, cfg_.line_bytes);
+      Subentry s{};
+      s.line_id =
+          static_cast<std::uint8_t>((line - slot->base) / cfg_.line_bytes);
+      s.token = r.token;
+      s.line_addr = line;
+      slot->subs.push_back(s);
+    }
+    ++used_;
+    ++stats_.allocations;
+    np.id = slot->issue_id;
+    result.to_issue.push_back(std::move(np));
+  }
+  result.accepted = true;
+  return result;
+}
+
+DynamicMshrFile::Entry* DynamicMshrFile::find_by_issue_id(ReqId id) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.issue_id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::optional<DynamicMshrFile::FillResult> DynamicMshrFile::on_fill(ReqId id) {
+  Entry* e = find_by_issue_id(id);
+  if (!e) return std::nullopt;
+  FillResult r;
+  r.base = e->base;
+  r.bytes = e->size_lines * cfg_.line_bytes;
+  r.type = e->type;
+  r.targets.reserve(e->subs.size());
+  for (const Subentry& s : e->subs) {
+    // Equation (2): subentry address derives from base + lineID * line size.
+    const Addr derived =
+        e->base + static_cast<Addr>(s.line_id) * cfg_.line_bytes;
+    assert(derived == s.line_addr);
+    r.targets.push_back(DynMshrTarget{derived, s.token});
+  }
+  e->valid = false;
+  e->subs.clear();
+  --used_;
+  ++stats_.frees;
+  return r;
+}
+
+void DynamicMshrFile::reset() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+    e.subs.clear();
+  }
+  used_ = 0;
+  next_issue_id_ = 1;
+  stats_ = DynMshrStats{};
+}
+
+}  // namespace hmcc::coalescer

@@ -1,0 +1,123 @@
+// Dynamic MSHRs: second-phase coalescing (paper §3.2.3, §3.5, Fig 6).
+//
+// A conventional MSHR entry is extended with:
+//   * a 2-bit "size" field  (00 = 64 B, 01 = 128 B, 10 = 256 B),
+//   * a "T" bit holding the request type (load/store), compared together
+//     with the address as a 53-bit key, and
+//   * per-subentry 2-bit "line ID" so each merged miss knows which cache
+//     line of the entry's block it wants:
+//        subentry.addr = entry.addr + lineID * line_size        (Eq. 2)
+//
+// Insertion of a coalesced packet P:
+//   * full subset   (P range inside a same-type in-flight entry)  -> all of
+//     P's constituents attach as subentries; no memory request  (Fig 6 A);
+//   * partial overlap -> the overlapped lines attach, the remainder is
+//     re-packetized and allocates new entries                   (Fig 6 B);
+//   * no overlap -> a new entry holds P and one memory request issues.
+// Insertion is atomic: if the remainder would need more free entries than
+// exist, nothing changes and the packet stays in the CRQ.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coalescer/config.hpp"
+#include "coalescer/request.hpp"
+#include "common/types.hpp"
+
+namespace hmcc::coalescer {
+
+struct DynMshrStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t full_merges = 0;     ///< packets absorbed entirely (case A)
+  std::uint64_t partial_merges = 0;  ///< packets split (case B)
+  std::uint64_t merged_constituents = 0;
+  std::uint64_t rejects_full = 0;    ///< file full -> packet waits in CRQ
+  std::uint64_t frees = 0;
+};
+
+/// A completion target: the line this subentry requested plus the opaque
+/// token the owner attached to the original request.
+struct DynMshrTarget {
+  Addr line_addr;
+  std::uint64_t token;
+};
+
+class DynamicMshrFile {
+ public:
+  explicit DynamicMshrFile(const CoalescerConfig& cfg);
+
+  struct InsertResult {
+    bool accepted = false;
+    /// Packets that allocated entries and must be issued to memory; their
+    /// .id fields carry the assigned entry handles for on_fill().
+    std::vector<CoalescedPacket> to_issue;
+  };
+
+  /// Try to insert coalesced packet @p pkt (line-granularity).
+  InsertResult try_insert(const CoalescedPacket& pkt);
+
+  /// §4.2 optimization: while a packet waits in the CRQ it is compared with
+  /// all MSHRs; if (and only if) EVERY constituent is covered by in-flight
+  /// same-type entries, it merges and leaves the queue. Returns true on
+  /// merge; otherwise the file is untouched.
+  bool try_merge_only(const CoalescedPacket& pkt);
+
+  struct FillResult {
+    Addr base = 0;
+    std::uint32_t bytes = 0;
+    ReqType type = ReqType::kLoad;
+    std::vector<DynMshrTarget> targets;
+  };
+
+  /// Complete the entry issued as packet-id @p id; frees the entry.
+  [[nodiscard]] std::optional<FillResult> on_fill(ReqId id);
+
+  [[nodiscard]] std::uint32_t in_use() const noexcept { return used_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] bool full() const noexcept { return used_ == capacity(); }
+  [[nodiscard]] bool has_free_entry() const noexcept { return !full(); }
+  [[nodiscard]] const DynMshrStats& stats() const noexcept { return stats_; }
+
+  void reset();
+
+ private:
+  struct Subentry {
+    std::uint8_t line_id;
+    std::uint64_t token;
+    Addr line_addr;  ///< redundant with base + line_id (kept for checking)
+  };
+  struct Entry {
+    bool valid = false;
+    ReqType type = ReqType::kLoad;  ///< the T bit
+    Addr base = 0;                  ///< line-aligned base address
+    std::uint32_t size_lines = 1;   ///< 1 / 2 / 4 (the 2-bit size field)
+    ReqId issue_id = 0;
+    std::vector<Subentry> subs;
+  };
+
+  [[nodiscard]] bool covers(const Entry& e, Addr line_addr) const noexcept;
+  /// Planning pass: map each constituent to a coverable entry (or null).
+  /// Returns the number of covered constituents. No mutation.
+  std::size_t plan_overlap(const CoalescedPacket& pkt,
+                           std::vector<Entry*>& hit_entry);
+  /// Commit pass: attach the planned constituents as subentries.
+  void commit_attaches(const CoalescedPacket& pkt,
+                       const std::vector<Entry*>& hit_entry);
+  /// Re-packetize leftover constituents into legal packets.
+  [[nodiscard]] std::vector<CoalescedPacket> repacketize(
+      std::vector<CoalescerRequest> leftovers, ReqType type,
+      Cycle ready_at) const;
+  Entry* find_by_issue_id(ReqId id);
+
+  CoalescerConfig cfg_;
+  std::vector<Entry> entries_;
+  std::uint32_t used_ = 0;
+  ReqId next_issue_id_ = 1;
+  DynMshrStats stats_;
+};
+
+}  // namespace hmcc::coalescer

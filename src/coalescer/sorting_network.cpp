@@ -1,0 +1,104 @@
+#include "coalescer/sorting_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/bits.hpp"
+
+namespace hmcc::coalescer {
+
+SortingNetwork::SortingNetwork(std::uint32_t n) : n_(n) {
+  assert(n >= 2 && is_pow2(n));
+  // Iterative Batcher odd-even mergesort. The outer loop over p = run length
+  // is a *stage*; the inner loop over k is a *step* of that stage.
+  for (std::uint32_t p = 1; p < n; p <<= 1) {
+    std::vector<std::vector<Comparator>> steps;
+    for (std::uint32_t k = p; k >= 1; k >>= 1) {
+      std::vector<Comparator> step;
+      for (std::uint32_t j = k % p; j + k < n; j += 2 * k) {
+        for (std::uint32_t i = 0; i <= k - 1 && j + i + k < n; ++i) {
+          // Only compare wires belonging to the same 2p-sized merge group.
+          if ((j + i) / (2 * p) == (j + i + k) / (2 * p)) {
+            step.push_back(Comparator{j + i, j + i + k});
+          }
+        }
+      }
+      steps.push_back(std::move(step));
+    }
+    stage_steps_.push_back(std::move(steps));
+  }
+}
+
+std::uint32_t SortingNetwork::num_steps() const {
+  std::uint32_t total = 0;
+  for (const auto& stg : stage_steps_) {
+    total += static_cast<std::uint32_t>(stg.size());
+  }
+  return total;
+}
+
+std::uint32_t SortingNetwork::num_comparators() const {
+  std::uint32_t total = 0;
+  for (const auto& stg : stage_steps_) {
+    for (const auto& step : stg) {
+      total += static_cast<std::uint32_t>(step.size());
+    }
+  }
+  return total;
+}
+
+std::uint32_t SortingNetwork::max_comparators_per_step() const {
+  std::uint32_t best = 0;
+  for (const auto& stg : stage_steps_) {
+    for (const auto& step : stg) {
+      best = std::max(best, static_cast<std::uint32_t>(step.size()));
+    }
+  }
+  return best;
+}
+
+void SortingNetwork::sort(std::span<std::uint64_t> keys) const {
+  sort_partial(keys, num_stages());
+}
+
+void SortingNetwork::sort_partial(std::span<std::uint64_t> keys,
+                                  std::uint32_t num_stages_used) const {
+  assert(keys.size() == n_);
+  assert(num_stages_used <= num_stages());
+  for (std::uint32_t s = 0; s < num_stages_used; ++s) {
+    for (const auto& step : stage_steps_[s]) {
+      for (const Comparator& c : step) {
+        if (keys[c.lo] > keys[c.hi]) std::swap(keys[c.lo], keys[c.hi]);
+      }
+    }
+  }
+}
+
+std::uint32_t SortingNetwork::stages_needed(std::uint32_t valid_count) const {
+  // After stage s, runs of length 2^s are sorted. The window is fully sorted
+  // once one run covers every valid key (the padded tail is already maximal
+  // and in place), i.e. 2^s >= valid_count.
+  if (valid_count <= 1) return 0;
+  return log2_ceil(valid_count);
+}
+
+bool SortingNetwork::verify_zero_one() const {
+  if (n_ > 22) return false;  // 2^n inputs — keep test time bounded
+  std::vector<std::uint64_t> keys(n_);
+  for (std::uint64_t input = 0; input < (1ULL << n_); ++input) {
+    std::uint32_t ones = 0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      keys[i] = (input >> i) & 1;
+      ones += static_cast<std::uint32_t>(keys[i]);
+    }
+    sort(keys);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const std::uint64_t expect = i >= n_ - ones ? 1u : 0u;
+      if (keys[i] != expect) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hmcc::coalescer

@@ -1,0 +1,71 @@
+// Batcher odd-even mergesort network (paper §3.3).
+//
+// For n = 2^k inputs the network has k *stages* (stage s merges sorted runs
+// of length 2^(s-1) into runs of length 2^s) and stage s consists of s
+// *steps*; comparators within one step touch disjoint wires and execute in
+// parallel.  Totals: k(k+1)/2 steps, and for n=16: 4 stages, 10 steps,
+// 63 comparators — exactly the figures quoted in §4.1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hmcc::coalescer {
+
+/// One compare-exchange between wires (lo, hi), lo < hi: after the step,
+/// value(lo) <= value(hi).
+struct Comparator {
+  std::uint32_t lo;
+  std::uint32_t hi;
+};
+
+/// The comparator schedule of an odd-even mergesort network.
+class SortingNetwork {
+ public:
+  /// @p n must be a power of two >= 2.
+  explicit SortingNetwork(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t width() const noexcept { return n_; }
+  /// Number of merge stages (log2 n).
+  [[nodiscard]] std::uint32_t num_stages() const noexcept {
+    return static_cast<std::uint32_t>(stage_steps_.size());
+  }
+  /// Total steps across all stages (k(k+1)/2).
+  [[nodiscard]] std::uint32_t num_steps() const;
+  /// Total comparators in the network.
+  [[nodiscard]] std::uint32_t num_comparators() const;
+  /// Maximum comparators active in any single step (hardware sizing when the
+  /// pipeline reuses one comparator bank per step).
+  [[nodiscard]] std::uint32_t max_comparators_per_step() const;
+
+  /// Steps of stage @p s (0-based); each step is a parallel comparator set.
+  [[nodiscard]] const std::vector<std::vector<Comparator>>& stage(
+      std::uint32_t s) const {
+    return stage_steps_[s];
+  }
+
+  /// Apply the full network to @p keys in place (keys.size() == n).
+  void sort(std::span<std::uint64_t> keys) const;
+
+  /// Apply stages [0, num_stages_used) only — the stage-select optimization:
+  /// when at most n / 2^m inputs are "real" (the rest padded with maximal
+  /// keys at the tail), the last m stages are redundant (§3.3).
+  void sort_partial(std::span<std::uint64_t> keys,
+                    std::uint32_t num_stages_used) const;
+
+  /// Stages needed to fully sort a window whose first @p valid_count slots
+  /// hold real keys and whose tail is padding.
+  [[nodiscard]] std::uint32_t stages_needed(std::uint32_t valid_count) const;
+
+  /// Zero-one-principle check used by tests: exhaustively verifies the
+  /// network on all 2^n boolean inputs (n <= ~22 to stay fast).
+  [[nodiscard]] bool verify_zero_one() const;
+
+ private:
+  std::uint32_t n_;
+  /// stage_steps_[stage][step] -> comparators.
+  std::vector<std::vector<std::vector<Comparator>>> stage_steps_;
+};
+
+}  // namespace hmcc::coalescer

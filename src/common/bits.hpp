@@ -1,0 +1,56 @@
+// Small constexpr bit-manipulation helpers used by address mapping,
+// packet encoding and the coalescer's sort-key construction.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace hmcc {
+
+/// True iff @p v is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)); v must be non-zero.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// ceil(log2(v)); v must be non-zero.
+[[nodiscard]] constexpr unsigned log2_ceil(std::uint64_t v) noexcept {
+  return v <= 1 ? 0u : log2_floor(v - 1) + 1u;
+}
+
+/// A mask with the low @p n bits set. n may be 0..64.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1ULL);
+}
+
+/// Extract @p len bits of @p v starting at bit @p lsb.
+[[nodiscard]] constexpr std::uint64_t bits(std::uint64_t v, unsigned lsb,
+                                           unsigned len) noexcept {
+  return (v >> lsb) & low_mask(len);
+}
+
+/// Round @p v down to a multiple of power-of-two @p align.
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t v,
+                                                 std::uint64_t align) noexcept {
+  return v & ~(align - 1);
+}
+
+/// Round @p v up to a multiple of power-of-two @p align.
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t v,
+                                               std::uint64_t align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// True iff [a, a+an) and [b, b+bn) overlap.
+[[nodiscard]] constexpr bool ranges_overlap(std::uint64_t a, std::uint64_t an,
+                                            std::uint64_t b,
+                                            std::uint64_t bn) noexcept {
+  return a < b + bn && b < a + an;
+}
+
+}  // namespace hmcc

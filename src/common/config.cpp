@@ -1,0 +1,63 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+namespace hmcc {
+
+bool Config::set_from_string(const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  set(assignment.substr(0, eq), assignment.substr(eq + 1));
+  return true;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 0);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+std::uint64_t Config::get_uint(const std::string& key,
+                               std::uint64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 0);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& s = it->second;
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+std::size_t Config::parse_args(int argc, const char* const* argv) {
+  std::size_t accepted = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (set_from_string(argv[i])) ++accepted;
+  }
+  return accepted;
+}
+
+}  // namespace hmcc

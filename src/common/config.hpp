@@ -1,0 +1,51 @@
+// Minimal key=value configuration store with typed getters.
+//
+// Experiment binaries accept "key=value" command-line overrides; modules read
+// their parameters through this class so every knob is scriptable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hmcc {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value"; returns false on malformed input.
+  bool set_from_string(const std::string& assignment);
+
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parse argv-style overrides (entries not containing '=' are ignored and
+  /// reported via the return count of accepted assignments).
+  std::size_t parse_args(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::map<std::string, std::string>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hmcc

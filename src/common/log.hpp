@@ -1,0 +1,48 @@
+// Leveled logging with compile-time cheap call sites.
+//
+// Simulation hot paths never log; logging exists for example binaries and
+// debugging, defaulting to kWarn so benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hmcc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel lvl) noexcept;
+  static void write(LogLevel lvl, const std::string& msg);
+};
+
+namespace detail {
+template <typename... Args>
+void log_at(LogLevel lvl, Args&&... args) {
+  if (static_cast<int>(lvl) < static_cast<int>(Logger::level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  Logger::write(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_at(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_at(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_at(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_at(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace hmcc

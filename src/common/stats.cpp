@@ -1,0 +1,19 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace hmcc {
+
+std::string StatsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, acc] : accs_) {
+    os << name << ".mean " << acc.mean() << '\n'
+       << name << ".count " << acc.count() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hmcc

@@ -1,0 +1,63 @@
+// Core scalar types and architectural constants shared by every module.
+//
+// The paper models a 12-core 3.3 GHz processor with 64 B cache lines attached
+// to an 8 GB HMC 2.1 device configured with 256 B block addressing.  All of
+// those quantities are centralized here so experiments can vary them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hmcc {
+
+/// Physical byte address. Only bits [0,51] are architecturally meaningful
+/// (x86-64 style 52-bit physical address space); bits 52/53 are re-purposed
+/// by the coalescer's sort key (see coalescer/sort_key.hpp).
+using Addr = std::uint64_t;
+
+/// Simulation time in CPU clock cycles.
+using Cycle = std::uint64_t;
+
+/// Monotonic identifier for in-flight memory requests.
+using ReqId = std::uint64_t;
+
+/// Memory request direction.
+enum class ReqType : std::uint8_t {
+  kLoad = 0,
+  kStore = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(ReqType t) noexcept {
+  return t == ReqType::kLoad ? "load" : "store";
+}
+
+/// Architectural constants used as defaults throughout the library.
+namespace arch {
+/// Cache line size used at every cache level (bytes).
+inline constexpr std::uint32_t kLineSize = 64;
+/// Number of physical address bits actually used (x86-64 / RV64 Sv48-ish).
+inline constexpr unsigned kPhysAddrBits = 52;
+/// Default CPU clock (Hz); the paper evaluates at 3.3 GHz.
+inline constexpr double kCpuClockHz = 3.3e9;
+/// Nanoseconds per CPU cycle at the default clock.
+inline constexpr double kNsPerCycle = 1e9 / kCpuClockHz;
+}  // namespace arch
+
+/// HMC 2.1 interface constants (Hybrid Memory Cube Specification 2.1).
+namespace hmcspec {
+/// FLIT: minimum flow-control unit of the HMC link protocol (bytes).
+inline constexpr std::uint32_t kFlitBytes = 16;
+/// Control data per transaction: 16 B request header/tail + 16 B response.
+inline constexpr std::uint32_t kRequestControlBytes = 16;
+inline constexpr std::uint32_t kResponseControlBytes = 16;
+inline constexpr std::uint32_t kControlBytesPerTransaction =
+    kRequestControlBytes + kResponseControlBytes;
+/// Smallest / largest data payload of a single HMC request (bytes).
+inline constexpr std::uint32_t kMinRequestBytes = 16;
+inline constexpr std::uint32_t kMaxRequestBytes = 256;
+/// Maximum block size (and bank interleave granularity) configured in the
+/// paper's evaluation: "8GB HMC (configured with 256B-block addressing)".
+inline constexpr std::uint32_t kBlockBytes = 256;
+}  // namespace hmcspec
+
+}  // namespace hmcc

@@ -1,0 +1,3 @@
+// AddressMap is header-only; this TU exists so the target always has at
+// least the packet/bank/vault/link/device objects plus this anchor.
+#include "hmc/address_map.hpp"

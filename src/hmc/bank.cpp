@@ -1,0 +1,51 @@
+#include "hmc/bank.hpp"
+
+#include <algorithm>
+
+namespace hmcc::hmc {
+
+BankAccessResult Bank::access(std::uint64_t row, std::uint32_t bytes,
+                              Cycle at) {
+  BankAccessResult r{};
+  r.conflict = busy_until_ > at;
+  if (r.conflict) ++conflicts_;
+  r.start = std::max(at, busy_until_);
+
+  Cycle t = r.start;
+  const bool hit = !cfg_.closed_page && open_row_valid_ && open_row_ == row;
+  r.row_hit = hit;
+  if (hit) {
+    ++row_hits_;
+  } else {
+    // Under open-page a different open row must first be precharged.
+    if (!cfg_.closed_page && open_row_valid_ && open_row_ != row) {
+      t += cfg_.t_rp;
+    }
+    t += cfg_.t_rcd;  // ACT
+    ++activations_;
+  }
+  t += cfg_.t_cl;  // column command to first data
+
+  // Stream the payload out of the arrays, one 32 B column per burst slot.
+  const std::uint32_t columns = std::max(1u, (bytes + 31) / 32);
+  t += static_cast<Cycle>(columns) * cfg_.t_column_burst;
+  r.data_ready = t;
+
+  if (cfg_.closed_page) {
+    // Auto-precharge: the bank is unavailable until the row cycle completes
+    // (respecting tRAS from activation) plus precharge.
+    const Cycle act_done = r.start + cfg_.t_rcd;
+    const Cycle ras_done = r.start + cfg_.t_ras;
+    const Cycle pre_start = std::max({t, act_done, ras_done});
+    r.bank_free = pre_start + cfg_.t_rp;
+    open_row_valid_ = false;
+  } else {
+    r.bank_free = t;
+    open_row_ = row;
+    open_row_valid_ = true;
+  }
+  busy_until_ = r.bank_free;
+  return r;
+}
+
+}  // namespace hmcc::hmc

@@ -1,0 +1,81 @@
+// HMC device configuration.
+//
+// Defaults follow the paper's evaluation platform: an 8 GB HMC 2.1 cube with
+// 256 B block addressing, 32 vaults (4 quadrants x 8), 16 banks per vault.
+// All timing is expressed in CPU cycles at 3.3 GHz (1 cycle ~ 0.303 ns) so the
+// rest of the simulator lives in a single clock domain.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace hmcc::hmc {
+
+struct HmcConfig {
+  /// Total cube capacity in bytes (8 GB in the paper).
+  std::uint64_t capacity_bytes = 8ULL << 30;
+  /// Vault interleave granularity == maximum request packet (256 B).
+  std::uint32_t block_bytes = hmcspec::kBlockBytes;
+  std::uint32_t num_vaults = 32;
+  std::uint32_t banks_per_vault = 16;
+  /// DRAM row (page) size per bank in bytes.
+  std::uint32_t row_bytes = 4096;
+  /// Number of external serial links; vaults are grouped into one quadrant
+  /// per link (HMC 2.1 has 4 links in the 8 GB configuration).
+  std::uint32_t num_links = 4;
+
+  // --- Link timing -------------------------------------------------------
+  /// CPU cycles to serialize one 16 B FLIT on a link. With 4 links at
+  /// 1 cycle/FLIT this yields ~211 GB/s raw, the right order of magnitude
+  /// for HMC 2.1's 30 Gbps x 16-lane links.
+  Cycle cycles_per_flit = 1;
+  /// Fixed SerDes + PHY latency added per direction per packet (~13.6 ns;
+  /// HMC SerDes dominates its unloaded latency, cf. Rosenfeld's thesis).
+  Cycle serdes_latency = 45;
+  /// Crossbar traversal from link to vault (and back).
+  Cycle xbar_latency = 10;
+
+  // --- Vault / DRAM timing (CPU cycles) ----------------------------------
+  /// Row activate (tRCD): ~15 ns.
+  Cycle t_rcd = 50;
+  /// Column access (tCL / CAS): ~15 ns.
+  Cycle t_cl = 50;
+  /// Precharge (tRP): ~15 ns.
+  Cycle t_rp = 50;
+  /// Minimum row-open time (tRAS): ~30 ns.
+  Cycle t_ras = 100;
+  /// Cycles to stream one 32 B column out of the DRAM arrays.
+  Cycle t_column_burst = 4;
+  /// Vault-controller processing overhead per request.
+  Cycle vault_ctrl_latency = 16;
+  /// True = closed-page policy (precharge after every access, HMC default);
+  /// false = open-page (row left open, hits skip ACT).
+  bool closed_page = true;
+
+  /// Per-vault request queue depth; submissions beyond it are backpressured.
+  std::uint32_t vault_queue_depth = 32;
+
+  [[nodiscard]] std::uint32_t vaults_per_quadrant() const noexcept {
+    return num_vaults / num_links;
+  }
+  [[nodiscard]] std::uint64_t vault_capacity() const noexcept {
+    return capacity_bytes / num_vaults;
+  }
+  [[nodiscard]] std::uint64_t rows_per_bank() const noexcept {
+    return vault_capacity() / banks_per_vault / row_bytes;
+  }
+
+  /// Validity: all the power-of-two structure the address map relies on.
+  [[nodiscard]] bool valid() const noexcept {
+    return is_pow2(capacity_bytes) && is_pow2(block_bytes) &&
+           is_pow2(num_vaults) && is_pow2(banks_per_vault) &&
+           is_pow2(row_bytes) && num_links > 0 &&
+           num_vaults % num_links == 0 && row_bytes >= block_bytes &&
+           capacity_bytes >=
+               static_cast<std::uint64_t>(block_bytes) * num_vaults;
+  }
+};
+
+}  // namespace hmcc::hmc

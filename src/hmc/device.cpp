@@ -1,0 +1,85 @@
+#include "hmc/device.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hmcc::hmc {
+
+HmcDevice::HmcDevice(Kernel& kernel, HmcConfig cfg)
+    : kernel_(kernel), cfg_(cfg), map_(cfg_) {
+  assert(cfg_.valid());
+  links_.reserve(cfg_.num_links);
+  for (std::uint32_t i = 0; i < cfg_.num_links; ++i) links_.emplace_back(cfg_);
+  vaults_.reserve(cfg_.num_vaults);
+  for (std::uint32_t i = 0; i < cfg_.num_vaults; ++i) {
+    vaults_.emplace_back(cfg_, i);
+  }
+}
+
+void HmcDevice::submit(const RequestPacket& pkt,
+                       ResponseCallback on_response) {
+  const DecodedAddr d = map_.decode(pkt.addr);
+  assert(d.offset + pkt.data_bytes() <= cfg_.block_bytes &&
+         "HMC request must not cross a block boundary");
+
+  const std::uint32_t link_idx = d.vault / cfg_.vaults_per_quadrant();
+  Link& link = links_[link_idx];
+  Vault& vault = vaults_[d.vault];
+
+  // Wire accounting happens at submission: the whole transaction's FLITs are
+  // committed to the link either way.
+  if (is_read(pkt.cmd)) {
+    ++wire_.reads;
+  } else {
+    ++wire_.writes;
+  }
+  wire_.payload_bytes += pkt.data_bytes();
+  wire_.transferred_bytes += pkt.transferred_bytes();
+  wire_.control_bytes += pkt.control_bytes();
+  ++outstanding_;
+
+  const Cycle now = kernel_.now();
+  // Request channel serialization, then SerDes + crossbar to the vault.
+  const Cycle req_done = link.send_request(pkt.request_flits(), now);
+  const Cycle vault_arrival =
+      req_done + cfg_.serdes_latency + cfg_.xbar_latency;
+  const VaultServiceResult served =
+      vault.serve(d, pkt.data_bytes(), vault_arrival);
+  // Return path: crossbar + SerDes, then response channel serialization.
+  const Cycle resp_at_link =
+      served.data_ready + cfg_.xbar_latency + cfg_.serdes_latency;
+  const Cycle completed = link.send_response(pkt.response_flits(), resp_at_link);
+
+  ResponsePacket resp{};
+  resp.id = pkt.id;
+  resp.cmd = pkt.cmd;
+  resp.addr = pkt.addr;
+  resp.submitted_at = now;
+  resp.completed_at = completed;
+
+  kernel_.schedule_at(
+      completed,
+      [this, resp, cb = std::move(on_response)]() mutable {
+        wire_.latency.add(static_cast<double>(resp.latency()));
+        --outstanding_;
+        cb(resp);
+      });
+}
+
+HmcStats HmcDevice::stats() const {
+  HmcStats s = wire_;
+  for (const Vault& v : vaults_) {
+    s.bank_conflicts += v.bank_conflicts();
+    s.row_activations += v.row_activations();
+    s.row_hits += v.row_hits();
+  }
+  return s;
+}
+
+void HmcDevice::reset_stats() {
+  wire_ = HmcStats{};
+  for (Vault& v : vaults_) v.reset();
+  for (Link& l : links_) l.reset();
+}
+
+}  // namespace hmcc::hmc

@@ -1,0 +1,81 @@
+// Top-level HMC device model.
+//
+// Public API: submit() a RequestPacket and receive a ResponsePacket via
+// callback when the transaction's last response FLIT arrives.  Internally the
+// device routes packets link -> crossbar -> vault -> bank and back, with FCFS
+// ordering per channel/vault, and aggregates the bandwidth statistics the
+// paper's Figures 1, 9 and 11 are built from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "hmc/address_map.hpp"
+#include "hmc/config.hpp"
+#include "hmc/link.hpp"
+#include "hmc/packet.hpp"
+#include "hmc/vault.hpp"
+#include "sim/kernel.hpp"
+
+namespace hmcc::hmc {
+
+/// Device-level traffic statistics (wire accounting).
+struct HmcStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t payload_bytes = 0;      ///< data bytes of all packets
+  std::uint64_t transferred_bytes = 0;  ///< payload + control on the wire
+  std::uint64_t control_bytes = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t row_activations = 0;
+  std::uint64_t row_hits = 0;
+  Accumulator latency;  ///< end-to-end transaction latency, cycles
+
+  /// The paper's Equation (1): requested / transferred.
+  [[nodiscard]] double bandwidth_efficiency() const noexcept {
+    return transferred_bytes
+               ? static_cast<double>(payload_bytes) /
+                     static_cast<double>(transferred_bytes)
+               : 0.0;
+  }
+};
+
+class HmcDevice {
+ public:
+  using ResponseCallback = std::function<void(const ResponsePacket&)>;
+
+  HmcDevice(Kernel& kernel, HmcConfig cfg);
+
+  /// Submit a transaction. @p pkt.addr must not cross an HMC block boundary
+  /// (enforced by assertion; the coalescer guarantees it by construction).
+  /// @p on_response fires exactly once at completion time.
+  void submit(const RequestPacket& pkt, ResponseCallback on_response);
+
+  [[nodiscard]] const HmcConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const AddressMap& address_map() const noexcept { return map_; }
+
+  /// Snapshot wire statistics (bank counters are aggregated on demand).
+  [[nodiscard]] HmcStats stats() const;
+
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    return outstanding_;
+  }
+
+  void reset_stats();
+
+ private:
+  Kernel& kernel_;
+  HmcConfig cfg_;
+  AddressMap map_;
+  std::vector<Link> links_;
+  std::vector<Vault> vaults_;
+  HmcStats wire_;
+  std::uint64_t outstanding_ = 0;
+  std::uint8_t next_tag_ = 0;
+};
+
+}  // namespace hmcc::hmc

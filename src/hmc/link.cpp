@@ -1,0 +1,2 @@
+// Link is header-only; anchor TU.
+#include "hmc/link.hpp"

@@ -1,0 +1,44 @@
+#include "hmc/vault.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hmcc::hmc {
+
+VaultServiceResult Vault::serve(const DecodedAddr& d, std::uint32_t bytes,
+                                Cycle arrival) {
+  assert(d.vault == index_);
+  assert(d.bank < banks_.size());
+  const Cycle start = std::max(arrival, ctrl_free_);
+  ctrl_free_ = start + cfg_.vault_ctrl_latency;
+  const Cycle issue = ctrl_free_;
+  const BankAccessResult b = banks_[d.bank].access(d.row, bytes, issue);
+  ++served_;
+  return VaultServiceResult{b.data_ready, b.row_hit, b.conflict};
+}
+
+std::uint64_t Vault::bank_conflicts() const noexcept {
+  std::uint64_t total = 0;
+  for (const Bank& b : banks_) total += b.conflicts();
+  return total;
+}
+
+std::uint64_t Vault::row_activations() const noexcept {
+  std::uint64_t total = 0;
+  for (const Bank& b : banks_) total += b.activations();
+  return total;
+}
+
+std::uint64_t Vault::row_hits() const noexcept {
+  std::uint64_t total = 0;
+  for (const Bank& b : banks_) total += b.row_hits();
+  return total;
+}
+
+void Vault::reset() {
+  for (Bank& b : banks_) b.reset();
+  ctrl_free_ = 0;
+  served_ = 0;
+}
+
+}  // namespace hmcc::hmc

@@ -1,0 +1,54 @@
+// Vault controller: one per vault, owning the vault's DRAM banks.
+//
+// The controller accepts packets in arrival order (FCFS), occupies its
+// command pipeline for a fixed number of cycles per request, and dispatches
+// to the target bank.  Bank-level parallelism is preserved: the controller
+// moves on as soon as a request is handed to its bank, so only same-bank
+// requests serialize on DRAM timing (bank conflicts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hmc/address_map.hpp"
+#include "hmc/bank.hpp"
+#include "hmc/config.hpp"
+
+namespace hmcc::hmc {
+
+struct VaultServiceResult {
+  Cycle data_ready;  ///< cycle the payload is available at the vault edge
+  bool row_hit;
+  bool bank_conflict;
+};
+
+class Vault {
+ public:
+  Vault(const HmcConfig& cfg, std::uint32_t index)
+      : cfg_(cfg), index_(index), banks_(cfg.banks_per_vault, Bank(cfg)) {}
+
+  /// Serve a request whose decoded address targets this vault, arriving at
+  /// cycle @p arrival. Must be called in nondecreasing arrival order.
+  VaultServiceResult serve(const DecodedAddr& d, std::uint32_t bytes,
+                           Cycle arrival);
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_;
+  }
+  [[nodiscard]] std::uint64_t bank_conflicts() const noexcept;
+  [[nodiscard]] std::uint64_t row_activations() const noexcept;
+  [[nodiscard]] std::uint64_t row_hits() const noexcept;
+
+  void reset();
+
+ private:
+  HmcConfig cfg_;  // by value: see Bank
+  std::uint32_t index_;
+  std::vector<Bank> banks_;
+  Cycle ctrl_free_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace hmcc::hmc

@@ -1,0 +1,610 @@
+#include "riscv/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "riscv/isa.hpp"
+
+namespace hmcc::riscv {
+namespace {
+
+struct SourceLine {
+  int number = 0;
+  std::string mnem;
+  std::vector<std::string> ops;
+};
+
+struct ParseState {
+  const std::map<std::string, Addr>* symbols = nullptr;
+  bool resolving = false;  ///< pass 2: unknown symbols are errors
+  std::string error;
+  int lineno = 0;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = "line " + std::to_string(lineno) + ": " + msg;
+    }
+    return false;
+  }
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Parse a number or symbol into a value. Returns false on failure.
+bool parse_value(const std::string& tok, ParseState& st, std::int64_t* out) {
+  if (tok.empty()) return st.fail("empty operand");
+  const bool neg = tok[0] == '-';
+  const std::string body = neg ? tok.substr(1) : tok;
+  if (!body.empty() &&
+      (std::isdigit(static_cast<unsigned char>(body[0])) ||
+       (body.size() > 2 && body[0] == '0' &&
+        (body[1] == 'x' || body[1] == 'X')))) {
+    errno = 0;
+    char* end = nullptr;
+    const auto v =
+        static_cast<std::int64_t>(std::strtoull(body.c_str(), &end, 0));
+    if (!end || *end != '\0') return st.fail("bad number '" + tok + "'");
+    *out = neg ? -v : v;
+    return true;
+  }
+  auto it = st.symbols->find(tok);
+  if (it == st.symbols->end()) {
+    if (st.resolving) return st.fail("undefined symbol '" + tok + "'");
+    *out = 0;  // sizing pass placeholder
+    return true;
+  }
+  *out = static_cast<std::int64_t>(it->second);
+  return !neg || st.fail("cannot negate a symbol");
+}
+
+bool parse_reg(const std::string& tok, ParseState& st, std::uint8_t* out) {
+  const int r = register_number(lower(trim(tok)));
+  if (r < 0) return st.fail("bad register '" + tok + "'");
+  *out = static_cast<std::uint8_t>(r);
+  return true;
+}
+
+/// Parse "offset(reg)" memory operands.
+bool parse_mem(const std::string& tok, ParseState& st, std::int64_t* off,
+               std::uint8_t* base) {
+  const auto open = tok.find('(');
+  const auto close = tok.find(')', open);
+  if (open == std::string::npos || close == std::string::npos) {
+    return st.fail("expected offset(reg), got '" + tok + "'");
+  }
+  const std::string off_s = trim(tok.substr(0, open));
+  if (off_s.empty()) {
+    *off = 0;
+  } else if (!parse_value(off_s, st, off)) {
+    return false;
+  }
+  return parse_reg(tok.substr(open + 1, close - open - 1), st, base);
+}
+
+/// Emitter shared by both passes: appends encoded words for one statement.
+class Emitter {
+ public:
+  Emitter(ParseState& st, Addr pc, std::vector<std::uint32_t>& out)
+      : st_(st), pc_(pc), out_(out) {}
+
+  [[nodiscard]] Addr pc() const { return pc_ + out_.size() * 4; }
+
+  void r_type(Op op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    Instruction i{};
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    push(i);
+  }
+  void i_type(Op op, std::uint8_t rd, std::uint8_t rs1, std::int64_t imm) {
+    if ((op == Op::kSlli || op == Op::kSrli || op == Op::kSrai) &&
+        (imm < 0 || imm > 63)) {
+      st_.fail("shift amount out of range");
+      return;
+    }
+    if (op != Op::kSlli && op != Op::kSrli && op != Op::kSrai &&
+        op != Op::kSlliw && op != Op::kSrliw && op != Op::kSraiw &&
+        (imm < -2048 || imm > 2047)) {
+      st_.fail("immediate out of range: " + std::to_string(imm));
+      return;
+    }
+    Instruction i{};
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    push(i);
+  }
+  void s_type(Op op, std::uint8_t rs2, std::uint8_t rs1, std::int64_t imm) {
+    if (imm < -2048 || imm > 2047) {
+      st_.fail("store offset out of range");
+      return;
+    }
+    Instruction i{};
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = imm;
+    push(i);
+  }
+  void b_type(Op op, std::uint8_t rs1, std::uint8_t rs2, std::int64_t target) {
+    const std::int64_t off = target - static_cast<std::int64_t>(pc());
+    if (st_.resolving && (off < -4096 || off > 4094 || (off & 1))) {
+      st_.fail("branch target out of range");
+      return;
+    }
+    Instruction i{};
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = st_.resolving ? off : 0;
+    push(i);
+  }
+  void u_type(Op op, std::uint8_t rd, std::int64_t imm) {
+    Instruction i{};
+    i.op = op;
+    i.rd = rd;
+    i.imm = imm;
+    push(i);
+  }
+  void jal(std::uint8_t rd, std::int64_t target) {
+    const std::int64_t off = target - static_cast<std::int64_t>(pc());
+    if (st_.resolving && (off < -(1 << 20) || off >= (1 << 20) || (off & 1))) {
+      st_.fail("jump target out of range");
+      return;
+    }
+    Instruction i{};
+    i.op = Op::kJal;
+    i.rd = rd;
+    i.imm = st_.resolving ? off : 0;
+    push(i);
+  }
+
+  /// Full 64-bit li expansion (deterministic length for a given value).
+  void li(std::uint8_t rd, std::int64_t value) {
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+      const std::int64_t lo = ((value & 0xFFF) ^ 0x800) - 0x800;
+      const std::int64_t hi = value - lo;
+      if (hi != 0) {
+        u_type(Op::kLui, rd, hi & 0xFFFFFFFF);
+        if (lo != 0) i_type(Op::kAddiw, rd, rd, lo);
+      } else {
+        i_type(Op::kAddi, rd, 0, lo);
+      }
+      return;
+    }
+    const std::int64_t lo = ((value & 0xFFF) ^ 0x800) - 0x800;
+    li(rd, (value - lo) >> 12);
+    i_type(Op::kSlli, rd, rd, 12);
+    if (lo != 0) i_type(Op::kAddi, rd, rd, lo);
+  }
+
+  void la(std::uint8_t rd, std::int64_t target) {
+    const std::int64_t delta = target - static_cast<std::int64_t>(pc());
+    const std::int64_t lo = ((delta & 0xFFF) ^ 0x800) - 0x800;
+    const std::int64_t hi = delta - lo;
+    u_type(Op::kAuipc, rd, hi & 0xFFFFFFFF);
+    i_type(Op::kAddi, rd, rd, lo);
+  }
+
+ private:
+  void push(const Instruction& i) { out_.push_back(encode(i)); }
+  ParseState& st_;
+  Addr pc_;
+  std::vector<std::uint32_t>& out_;
+};
+
+struct OpInfo {
+  enum class Kind {
+    kR, kI, kLoad, kStore, kBranch, kU, kJal, kJalr, kBare,
+    kLr,   // lr.w rd, (rs1)
+    kAmo,  // sc/amo* rd, rs2, (rs1)
+  } kind;
+  Op op;
+};
+
+const std::map<std::string, OpInfo>& op_table() {
+  using K = OpInfo::Kind;
+  static const std::map<std::string, OpInfo> table = {
+      {"lui", {K::kU, Op::kLui}},     {"auipc", {K::kU, Op::kAuipc}},
+      {"jal", {K::kJal, Op::kJal}},   {"jalr", {K::kJalr, Op::kJalr}},
+      {"beq", {K::kBranch, Op::kBeq}}, {"bne", {K::kBranch, Op::kBne}},
+      {"blt", {K::kBranch, Op::kBlt}}, {"bge", {K::kBranch, Op::kBge}},
+      {"bltu", {K::kBranch, Op::kBltu}}, {"bgeu", {K::kBranch, Op::kBgeu}},
+      {"lb", {K::kLoad, Op::kLb}},    {"lh", {K::kLoad, Op::kLh}},
+      {"lw", {K::kLoad, Op::kLw}},    {"ld", {K::kLoad, Op::kLd}},
+      {"lbu", {K::kLoad, Op::kLbu}},  {"lhu", {K::kLoad, Op::kLhu}},
+      {"lwu", {K::kLoad, Op::kLwu}},
+      {"sb", {K::kStore, Op::kSb}},   {"sh", {K::kStore, Op::kSh}},
+      {"sw", {K::kStore, Op::kSw}},   {"sd", {K::kStore, Op::kSd}},
+      {"addi", {K::kI, Op::kAddi}},   {"slti", {K::kI, Op::kSlti}},
+      {"sltiu", {K::kI, Op::kSltiu}}, {"xori", {K::kI, Op::kXori}},
+      {"ori", {K::kI, Op::kOri}},     {"andi", {K::kI, Op::kAndi}},
+      {"slli", {K::kI, Op::kSlli}},   {"srli", {K::kI, Op::kSrli}},
+      {"srai", {K::kI, Op::kSrai}},   {"addiw", {K::kI, Op::kAddiw}},
+      {"slliw", {K::kI, Op::kSlliw}}, {"srliw", {K::kI, Op::kSrliw}},
+      {"sraiw", {K::kI, Op::kSraiw}},
+      {"add", {K::kR, Op::kAdd}},     {"sub", {K::kR, Op::kSub}},
+      {"sll", {K::kR, Op::kSll}},     {"slt", {K::kR, Op::kSlt}},
+      {"sltu", {K::kR, Op::kSltu}},   {"xor", {K::kR, Op::kXor}},
+      {"srl", {K::kR, Op::kSrl}},     {"sra", {K::kR, Op::kSra}},
+      {"or", {K::kR, Op::kOr}},       {"and", {K::kR, Op::kAnd}},
+      {"addw", {K::kR, Op::kAddw}},   {"subw", {K::kR, Op::kSubw}},
+      {"sllw", {K::kR, Op::kSllw}},   {"srlw", {K::kR, Op::kSrlw}},
+      {"sraw", {K::kR, Op::kSraw}},
+      {"mul", {K::kR, Op::kMul}},     {"mulh", {K::kR, Op::kMulh}},
+      {"mulhsu", {K::kR, Op::kMulhsu}}, {"mulhu", {K::kR, Op::kMulhu}},
+      {"div", {K::kR, Op::kDiv}},     {"divu", {K::kR, Op::kDivu}},
+      {"rem", {K::kR, Op::kRem}},     {"remu", {K::kR, Op::kRemu}},
+      {"mulw", {K::kR, Op::kMulw}},   {"divw", {K::kR, Op::kDivw}},
+      {"divuw", {K::kR, Op::kDivuw}}, {"remw", {K::kR, Op::kRemw}},
+      {"remuw", {K::kR, Op::kRemuw}},
+      {"fence", {K::kBare, Op::kFence}}, {"ecall", {K::kBare, Op::kEcall}},
+      {"ebreak", {K::kBare, Op::kEbreak}},
+      {"lr.w", {K::kLr, Op::kLrW}},       {"lr.d", {K::kLr, Op::kLrD}},
+      {"sc.w", {K::kAmo, Op::kScW}},      {"sc.d", {K::kAmo, Op::kScD}},
+      {"amoswap.w", {K::kAmo, Op::kAmoSwapW}},
+      {"amoswap.d", {K::kAmo, Op::kAmoSwapD}},
+      {"amoadd.w", {K::kAmo, Op::kAmoAddW}},
+      {"amoadd.d", {K::kAmo, Op::kAmoAddD}},
+      {"amoxor.w", {K::kAmo, Op::kAmoXorW}},
+      {"amoxor.d", {K::kAmo, Op::kAmoXorD}},
+      {"amoand.w", {K::kAmo, Op::kAmoAndW}},
+      {"amoand.d", {K::kAmo, Op::kAmoAndD}},
+      {"amoor.w", {K::kAmo, Op::kAmoOrW}},
+      {"amoor.d", {K::kAmo, Op::kAmoOrD}},
+  };
+  return table;
+}
+
+/// Expand one statement into words. Returns false on error.
+bool emit_statement(const SourceLine& line, ParseState& st, Addr pc,
+                    std::vector<std::uint32_t>& out) {
+  st.lineno = line.number;
+  Emitter e(st, pc, out);
+  const std::string& m = line.mnem;
+  const auto& ops = line.ops;
+  auto need = [&](std::size_t n) {
+    return ops.size() == n ||
+           st.fail("'" + m + "' expects " + std::to_string(n) + " operands");
+  };
+
+  std::uint8_t r1 = 0;
+  std::uint8_t r2 = 0;
+  std::uint8_t r3 = 0;
+  std::int64_t v = 0;
+
+  const auto it = op_table().find(m);
+  if (it != op_table().end()) {
+    using K = OpInfo::Kind;
+    switch (it->second.kind) {
+      case K::kR:
+        return need(3) && parse_reg(ops[0], st, &r1) &&
+               parse_reg(ops[1], st, &r2) && parse_reg(ops[2], st, &r3) &&
+               (e.r_type(it->second.op, r1, r2, r3), st.error.empty());
+      case K::kI:
+        return need(3) && parse_reg(ops[0], st, &r1) &&
+               parse_reg(ops[1], st, &r2) && parse_value(ops[2], st, &v) &&
+               (e.i_type(it->second.op, r1, r2, v), st.error.empty());
+      case K::kLoad:
+        return need(2) && parse_reg(ops[0], st, &r1) &&
+               parse_mem(ops[1], st, &v, &r2) &&
+               (e.i_type(it->second.op, r1, r2, v), st.error.empty());
+      case K::kStore:
+        return need(2) && parse_reg(ops[0], st, &r1) &&
+               parse_mem(ops[1], st, &v, &r2) &&
+               (e.s_type(it->second.op, r1, r2, v), st.error.empty());
+      case K::kBranch:
+        return need(3) && parse_reg(ops[0], st, &r1) &&
+               parse_reg(ops[1], st, &r2) && parse_value(ops[2], st, &v) &&
+               (e.b_type(it->second.op, r1, r2, v), st.error.empty());
+      case K::kU:
+        return need(2) && parse_reg(ops[0], st, &r1) &&
+               parse_value(ops[1], st, &v) &&
+               (e.u_type(it->second.op, r1, v << 12), st.error.empty());
+      case K::kJal:
+        if (ops.size() == 1) {  // jal label == jal ra, label
+          return parse_value(ops[0], st, &v) &&
+                 (e.jal(1, v), st.error.empty());
+        }
+        return need(2) && parse_reg(ops[0], st, &r1) &&
+               parse_value(ops[1], st, &v) && (e.jal(r1, v), st.error.empty());
+      case K::kJalr:
+        if (ops.size() == 1) {  // jalr rs == jalr ra, rs, 0
+          return parse_reg(ops[0], st, &r1) &&
+                 (e.i_type(Op::kJalr, 1, r1, 0), st.error.empty());
+        }
+        return need(3) && parse_reg(ops[0], st, &r1) &&
+               parse_reg(ops[1], st, &r2) && parse_value(ops[2], st, &v) &&
+               (e.i_type(Op::kJalr, r1, r2, v), st.error.empty());
+      case K::kBare:
+        e.r_type(it->second.op, 0, 0, 0);
+        return st.error.empty();
+      case K::kLr: {
+        std::int64_t off = 0;
+        if (!need(2) || !parse_reg(ops[0], st, &r1) ||
+            !parse_mem(ops[1], st, &off, &r2)) {
+          return false;
+        }
+        if (off != 0) return st.fail("lr takes a bare (reg) address");
+        e.r_type(it->second.op, r1, r2, 0);
+        return st.error.empty();
+      }
+      case K::kAmo: {
+        std::int64_t off = 0;
+        if (!need(3) || !parse_reg(ops[0], st, &r1) ||
+            !parse_reg(ops[1], st, &r3) || !parse_mem(ops[2], st, &off, &r2)) {
+          return false;
+        }
+        if (off != 0) return st.fail("amo takes a bare (reg) address");
+        e.r_type(it->second.op, r1, r2, r3);
+        return st.error.empty();
+      }
+    }
+  }
+
+  // Pseudo-instructions.
+  if (m == "nop") return e.i_type(Op::kAddi, 0, 0, 0), st.error.empty();
+  if (m == "mv") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_reg(ops[1], st, &r2) &&
+           (e.i_type(Op::kAddi, r1, r2, 0), st.error.empty());
+  }
+  if (m == "li") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_value(ops[1], st, &v) && (e.li(r1, v), st.error.empty());
+  }
+  if (m == "la") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_value(ops[1], st, &v) && (e.la(r1, v), st.error.empty());
+  }
+  if (m == "j") {
+    return need(1) && parse_value(ops[0], st, &v) &&
+           (e.jal(0, v), st.error.empty());
+  }
+  if (m == "jr") {
+    return need(1) && parse_reg(ops[0], st, &r1) &&
+           (e.i_type(Op::kJalr, 0, r1, 0), st.error.empty());
+  }
+  if (m == "call") {
+    return need(1) && parse_value(ops[0], st, &v) &&
+           (e.jal(1, v), st.error.empty());
+  }
+  if (m == "ret") return e.i_type(Op::kJalr, 0, 1, 0), st.error.empty();
+  if (m == "neg") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_reg(ops[1], st, &r2) &&
+           (e.r_type(Op::kSub, r1, 0, r2), st.error.empty());
+  }
+  if (m == "not") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_reg(ops[1], st, &r2) &&
+           (e.i_type(Op::kXori, r1, r2, -1), st.error.empty());
+  }
+  if (m == "seqz") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_reg(ops[1], st, &r2) &&
+           (e.i_type(Op::kSltiu, r1, r2, 1), st.error.empty());
+  }
+  if (m == "snez") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_reg(ops[1], st, &r2) &&
+           (e.r_type(Op::kSltu, r1, 0, r2), st.error.empty());
+  }
+  if (m == "sext.w") {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_reg(ops[1], st, &r2) &&
+           (e.i_type(Op::kAddiw, r1, r2, 0), st.error.empty());
+  }
+  static const std::map<std::string, Op> zero_branches = {
+      {"beqz", Op::kBeq}, {"bnez", Op::kBne}, {"bltz", Op::kBlt},
+      {"bgez", Op::kBge}};
+  if (auto zb = zero_branches.find(m); zb != zero_branches.end()) {
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_value(ops[1], st, &v) &&
+           (e.b_type(zb->second, r1, 0, v), st.error.empty());
+  }
+  if (m == "blez") {  // rs <= 0  ->  bge zero, rs
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_value(ops[1], st, &v) &&
+           (e.b_type(Op::kBge, 0, r1, v), st.error.empty());
+  }
+  if (m == "bgtz") {  // rs > 0  ->  blt zero, rs
+    return need(2) && parse_reg(ops[0], st, &r1) &&
+           parse_value(ops[1], st, &v) &&
+           (e.b_type(Op::kBlt, 0, r1, v), st.error.empty());
+  }
+  static const std::map<std::string, Op> swapped = {
+      {"bgt", Op::kBlt}, {"ble", Op::kBge}, {"bgtu", Op::kBltu},
+      {"bleu", Op::kBgeu}};
+  if (auto sw = swapped.find(m); sw != swapped.end()) {
+    return need(3) && parse_reg(ops[0], st, &r1) &&
+           parse_reg(ops[1], st, &r2) && parse_value(ops[2], st, &v) &&
+           (e.b_type(sw->second, r2, r1, v), st.error.empty());
+  }
+
+  return st.fail("unknown mnemonic '" + m + "'");
+}
+
+}  // namespace
+
+std::optional<AssembledProgram> Assembler::assemble(const std::string& source,
+                                                    std::string* error) {
+  // --- Lexing ------------------------------------------------------------
+  std::vector<SourceLine> lines;
+  std::vector<std::pair<std::string, int>> pending_labels;  // resolved below
+  struct Item {
+    std::vector<std::string> labels;
+    SourceLine line;  // empty mnem == labels only / directive handled inline
+  };
+  std::vector<Item> items;
+  {
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      for (const char* c : {"#", "//", ";"}) {
+        if (const auto pos = raw.find(c); pos != std::string::npos) {
+          raw = raw.substr(0, pos);
+        }
+      }
+      std::string text = trim(raw);
+      Item item;
+      // Peel leading labels.
+      while (true) {
+        const auto colon = text.find(':');
+        if (colon == std::string::npos) break;
+        const std::string head = trim(text.substr(0, colon));
+        if (head.empty() || head.find(' ') != std::string::npos) break;
+        item.labels.push_back(head);
+        text = trim(text.substr(colon + 1));
+      }
+      if (!text.empty()) {
+        SourceLine line;
+        line.number = number;
+        const auto space = text.find_first_of(" \t");
+        line.mnem = lower(text.substr(0, space));
+        if (space != std::string::npos) {
+          std::string rest = trim(text.substr(space));
+          std::string cur;
+          for (char ch : rest) {
+            if (ch == ',') {
+              line.ops.push_back(trim(cur));
+              cur.clear();
+            } else {
+              cur += ch;
+            }
+          }
+          if (!trim(cur).empty()) line.ops.push_back(trim(cur));
+        }
+        item.line = line;
+      }
+      if (!item.labels.empty() || !item.line.mnem.empty()) {
+        items.push_back(std::move(item));
+      }
+    }
+  }
+
+  // --- Two passes over the items -----------------------------------------
+  AssembledProgram prog;
+  prog.base = 0x10000;
+  ParseState st;
+  st.symbols = &prog.symbols;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    st.resolving = pass == 1;
+    st.error.clear();
+    Addr pc = prog.base;
+    bool base_set = false;
+    prog.image.clear();
+
+    auto ensure_size = [&](Addr end) {
+      if (end < prog.base) return;
+      const std::size_t need = static_cast<std::size_t>(end - prog.base);
+      if (prog.image.size() < need) prog.image.resize(need, 0);
+    };
+    auto append_bytes = [&](Addr at, const void* data, std::size_t n) {
+      ensure_size(at + n);
+      std::memcpy(prog.image.data() + (at - prog.base),  // NOLINT
+                  data, n);
+    };
+
+    for (const Item& item : items) {
+      for (const std::string& label : item.labels) {
+        if (pass == 0) prog.symbols[label] = pc;
+      }
+      const SourceLine& line = item.line;
+      if (line.mnem.empty()) continue;
+      st.lineno = line.number;
+
+      if (line.mnem[0] == '.') {
+        std::int64_t v = 0;
+        if (line.mnem == ".org") {
+          if (line.ops.size() != 1 || !parse_value(line.ops[0], st, &v)) {
+            if (error) *error = st.error;
+            return std::nullopt;
+          }
+          if (!base_set && prog.image.empty()) {
+            prog.base = static_cast<Addr>(v);
+            if (pass == 0) {
+              for (const std::string& label : item.labels) {
+                prog.symbols[label] = static_cast<Addr>(v);
+              }
+            }
+            base_set = true;
+          }
+          pc = static_cast<Addr>(v);
+          ensure_size(pc);
+        } else if (line.mnem == ".align") {
+          if (line.ops.size() != 1 || !parse_value(line.ops[0], st, &v)) {
+            if (error) *error = st.error;
+            return std::nullopt;
+          }
+          const Addr a = Addr{1} << v;
+          pc = (pc + a - 1) & ~(a - 1);
+          ensure_size(pc);
+        } else if (line.mnem == ".word" || line.mnem == ".dword") {
+          const unsigned width = line.mnem == ".word" ? 4 : 8;
+          for (const std::string& opnd : line.ops) {
+            if (!parse_value(opnd, st, &v)) {
+              if (error) *error = st.error;
+              return std::nullopt;
+            }
+            append_bytes(pc, &v, width);
+            pc += width;
+          }
+        } else if (line.mnem == ".zero" || line.mnem == ".space") {
+          if (line.ops.size() != 1 || !parse_value(line.ops[0], st, &v)) {
+            if (error) *error = st.error;
+            return std::nullopt;
+          }
+          ensure_size(pc + static_cast<Addr>(v));
+          pc += static_cast<Addr>(v);
+        } else {
+          st.fail("unknown directive '" + line.mnem + "'");
+          if (error) *error = st.error;
+          return std::nullopt;
+        }
+        // Labels attached to directives point at the directive location.
+        if (pass == 0) {
+          // (already recorded before the directive moved pc; fix .org case
+          // above)
+        }
+        continue;
+      }
+
+      std::vector<std::uint32_t> words;
+      if (!emit_statement(line, st, pc, words) || !st.error.empty()) {
+        if (error) *error = st.error;
+        return std::nullopt;
+      }
+      for (std::uint32_t w : words) {
+        append_bytes(pc, &w, 4);
+        pc += 4;
+      }
+    }
+    if (!st.error.empty()) {
+      if (error) *error = st.error;
+      return std::nullopt;
+    }
+  }
+  return prog;
+}
+
+}  // namespace hmcc::riscv

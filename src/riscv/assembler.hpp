@@ -1,0 +1,50 @@
+// Two-pass RV64IM assembler.
+//
+// Enough of the GNU-as dialect to write the example kernels in-repo:
+//   * labels (`loop:`), decimal/hex immediates, `#` / `//` / `;` comments
+//   * all RV64IM instructions with standard operand forms, including
+//     `lw rd, off(rs)` memory syntax
+//   * pseudo-instructions: nop, mv, li (full 64-bit expansion), la, j, jr,
+//     call, ret, beqz, bnez, blez, bgez, bltz, bgtz, ble, bgt, bleu, bgtu,
+//     neg, not, seqz, snez, sext.w
+//   * directives: .org, .align, .word, .dword, .zero, .space
+//
+// assemble() produces a flat image plus a symbol table; load it into a
+// SparseMemory and point an Rv64Core at the entry symbol.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "riscv/memory.hpp"
+
+namespace hmcc::riscv {
+
+struct AssembledProgram {
+  Addr base = 0;                    ///< load address of image[0]
+  std::vector<std::uint8_t> image;  ///< contiguous bytes from base
+  std::map<std::string, Addr> symbols;
+
+  [[nodiscard]] std::optional<Addr> symbol(const std::string& name) const {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) return std::nullopt;
+    return it->second;
+  }
+  void load_into(SparseMemory& mem) const {
+    if (!image.empty()) mem.write_block(base, image.data(), image.size());
+  }
+};
+
+class Assembler {
+ public:
+  /// Assemble @p source. On failure returns nullopt and sets @p error to a
+  /// "line N: message" diagnostic.
+  std::optional<AssembledProgram> assemble(const std::string& source,
+                                           std::string* error = nullptr);
+};
+
+}  // namespace hmcc::riscv

@@ -1,0 +1,301 @@
+#include "riscv/cpu.hpp"
+
+namespace hmcc::riscv {
+namespace {
+
+constexpr std::int64_t sext32(std::uint64_t v) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t mulhu64(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) >> 64);
+}
+std::int64_t mulh64(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(
+      (static_cast<__int128_t>(a) * b) >> 64);
+}
+std::int64_t mulhsu64(std::int64_t a, std::uint64_t b) {
+  const __int128_t product =
+      static_cast<__int128_t>(a) * static_cast<__int128_t>(b);
+  return static_cast<std::int64_t>(product >> 64);
+}
+
+}  // namespace
+
+bool Rv64Core::step() {
+  if (halted_ || fault_) return false;
+  const auto word = static_cast<std::uint32_t>(mem_->read(pc_, 4));
+  const Instruction inst = decode(word);
+  if (!inst.valid()) {
+    fault_ = true;
+    return false;
+  }
+  exec(inst);
+  ++retired_;
+  return !halted_ && !fault_;
+}
+
+std::uint64_t Rv64Core::run(std::uint64_t max_instructions) {
+  const std::uint64_t start = retired_;
+  while (retired_ - start < max_instructions && step()) {
+  }
+  return retired_ - start;
+}
+
+void Rv64Core::exec(const Instruction& inst) {
+  const std::uint64_t rs1 = regs_[inst.rs1];
+  const std::uint64_t rs2 = regs_[inst.rs2];
+  const auto s1 = static_cast<std::int64_t>(rs1);
+  const auto s2 = static_cast<std::int64_t>(rs2);
+  const std::int64_t imm = inst.imm;
+  Addr next = pc_ + 4;
+  std::uint64_t rd = regs_[inst.rd];
+  bool writes_rd = true;
+
+  switch (inst.op) {
+    case Op::kLui: rd = static_cast<std::uint64_t>(imm); break;
+    case Op::kAuipc: rd = pc_ + static_cast<std::uint64_t>(imm); break;
+    case Op::kJal:
+      rd = next;
+      next = pc_ + static_cast<std::uint64_t>(imm);
+      break;
+    case Op::kJalr:
+      rd = next;
+      next = (rs1 + static_cast<std::uint64_t>(imm)) & ~1ULL;
+      break;
+    case Op::kBeq:
+      writes_rd = false;
+      if (rs1 == rs2) next = pc_ + static_cast<std::uint64_t>(imm);
+      break;
+    case Op::kBne:
+      writes_rd = false;
+      if (rs1 != rs2) next = pc_ + static_cast<std::uint64_t>(imm);
+      break;
+    case Op::kBlt:
+      writes_rd = false;
+      if (s1 < s2) next = pc_ + static_cast<std::uint64_t>(imm);
+      break;
+    case Op::kBge:
+      writes_rd = false;
+      if (s1 >= s2) next = pc_ + static_cast<std::uint64_t>(imm);
+      break;
+    case Op::kBltu:
+      writes_rd = false;
+      if (rs1 < rs2) next = pc_ + static_cast<std::uint64_t>(imm);
+      break;
+    case Op::kBgeu:
+      writes_rd = false;
+      if (rs1 >= rs2) next = pc_ + static_cast<std::uint64_t>(imm);
+      break;
+
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu: {
+      const Addr a = rs1 + static_cast<std::uint64_t>(imm);
+      const std::uint32_t n = inst.access_bytes();
+      std::uint64_t v = mem_->read(a, n);
+      switch (inst.op) {  // sign extension
+        case Op::kLb: v = static_cast<std::uint64_t>(
+            static_cast<std::int8_t>(v)); break;
+        case Op::kLh: v = static_cast<std::uint64_t>(
+            static_cast<std::int16_t>(v)); break;
+        case Op::kLw: v = static_cast<std::uint64_t>(sext32(v)); break;
+        default: break;
+      }
+      rd = v;
+      if (hook_) hook_(a, n, /*is_store=*/false, /*is_fence=*/false);
+      break;
+    }
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd: {
+      writes_rd = false;
+      const Addr a = rs1 + static_cast<std::uint64_t>(imm);
+      const std::uint32_t n = inst.access_bytes();
+      mem_->write(a, rs2, n);
+      if (hook_) hook_(a, n, /*is_store=*/true, /*is_fence=*/false);
+      break;
+    }
+
+    case Op::kAddi: rd = rs1 + static_cast<std::uint64_t>(imm); break;
+    case Op::kSlti: rd = s1 < imm ? 1 : 0; break;
+    case Op::kSltiu: rd = rs1 < static_cast<std::uint64_t>(imm) ? 1 : 0; break;
+    case Op::kXori: rd = rs1 ^ static_cast<std::uint64_t>(imm); break;
+    case Op::kOri: rd = rs1 | static_cast<std::uint64_t>(imm); break;
+    case Op::kAndi: rd = rs1 & static_cast<std::uint64_t>(imm); break;
+    case Op::kSlli: rd = rs1 << (imm & 63); break;
+    case Op::kSrli: rd = rs1 >> (imm & 63); break;
+    case Op::kSrai: rd = static_cast<std::uint64_t>(s1 >> (imm & 63)); break;
+
+    case Op::kAdd: rd = rs1 + rs2; break;
+    case Op::kSub: rd = rs1 - rs2; break;
+    case Op::kSll: rd = rs1 << (rs2 & 63); break;
+    case Op::kSlt: rd = s1 < s2 ? 1 : 0; break;
+    case Op::kSltu: rd = rs1 < rs2 ? 1 : 0; break;
+    case Op::kXor: rd = rs1 ^ rs2; break;
+    case Op::kSrl: rd = rs1 >> (rs2 & 63); break;
+    case Op::kSra: rd = static_cast<std::uint64_t>(s1 >> (rs2 & 63)); break;
+    case Op::kOr: rd = rs1 | rs2; break;
+    case Op::kAnd: rd = rs1 & rs2; break;
+
+    case Op::kAddiw:
+      rd = static_cast<std::uint64_t>(sext32(rs1 + static_cast<std::uint64_t>(imm)));
+      break;
+    case Op::kSlliw:
+      rd = static_cast<std::uint64_t>(sext32(rs1 << (imm & 31)));
+      break;
+    case Op::kSrliw:
+      rd = static_cast<std::uint64_t>(
+          sext32(static_cast<std::uint32_t>(rs1) >> (imm & 31)));
+      break;
+    case Op::kSraiw:
+      rd = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(rs1) >>
+                                    (imm & 31)));
+      break;
+    case Op::kAddw: rd = static_cast<std::uint64_t>(sext32(rs1 + rs2)); break;
+    case Op::kSubw: rd = static_cast<std::uint64_t>(sext32(rs1 - rs2)); break;
+    case Op::kSllw:
+      rd = static_cast<std::uint64_t>(sext32(rs1 << (rs2 & 31)));
+      break;
+    case Op::kSrlw:
+      rd = static_cast<std::uint64_t>(
+          sext32(static_cast<std::uint32_t>(rs1) >> (rs2 & 31)));
+      break;
+    case Op::kSraw:
+      rd = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(rs1) >>
+                                    (rs2 & 31)));
+      break;
+
+    case Op::kFence:
+      writes_rd = false;
+      if (hook_) hook_(0, 0, false, /*is_fence=*/true);
+      break;
+    case Op::kEcall:
+      writes_rd = false;
+      if (regs_[17] == 93) {  // Linux exit
+        halted_ = true;
+        exit_code_ = regs_[10];
+      }
+      break;
+    case Op::kEbreak:
+      writes_rd = false;
+      halted_ = true;
+      break;
+
+    case Op::kMul: rd = rs1 * rs2; break;
+    case Op::kMulh: rd = static_cast<std::uint64_t>(mulh64(s1, s2)); break;
+    case Op::kMulhsu:
+      rd = static_cast<std::uint64_t>(mulhsu64(s1, rs2));
+      break;
+    case Op::kMulhu: rd = mulhu64(rs1, rs2); break;
+    case Op::kDiv:
+      rd = rs2 == 0 ? ~0ULL
+           : (s1 == INT64_MIN && s2 == -1)
+               ? static_cast<std::uint64_t>(INT64_MIN)
+               : static_cast<std::uint64_t>(s1 / s2);
+      break;
+    case Op::kDivu: rd = rs2 == 0 ? ~0ULL : rs1 / rs2; break;
+    case Op::kRem:
+      rd = rs2 == 0 ? rs1
+           : (s1 == INT64_MIN && s2 == -1)
+               ? 0
+               : static_cast<std::uint64_t>(s1 % s2);
+      break;
+    case Op::kRemu: rd = rs2 == 0 ? rs1 : rs1 % rs2; break;
+    case Op::kMulw: rd = static_cast<std::uint64_t>(sext32(rs1 * rs2)); break;
+    case Op::kDivw: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      const std::int32_t q = b == 0 ? -1
+                             : (a == INT32_MIN && b == -1) ? INT32_MIN
+                                                           : a / b;
+      rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(q));
+      break;
+    }
+    case Op::kDivuw: {
+      const auto a = static_cast<std::uint32_t>(rs1);
+      const auto b = static_cast<std::uint32_t>(rs2);
+      rd = static_cast<std::uint64_t>(
+          sext32(b == 0 ? ~0u : a / b));
+      break;
+    }
+    case Op::kRemw: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      const std::int32_t r = b == 0 ? a
+                             : (a == INT32_MIN && b == -1) ? 0
+                                                           : a % b;
+      rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(r));
+      break;
+    }
+    case Op::kRemuw: {
+      const auto a = static_cast<std::uint32_t>(rs1);
+      const auto b = static_cast<std::uint32_t>(rs2);
+      rd = static_cast<std::uint64_t>(sext32(b == 0 ? a : a % b));
+      break;
+    }
+
+    case Op::kLrW: case Op::kLrD: {
+      const Addr a = rs1;
+      const std::uint32_t n = inst.access_bytes();
+      std::uint64_t v = mem_->read(a, n);
+      if (inst.op == Op::kLrW) v = static_cast<std::uint64_t>(sext32(v));
+      rd = v;
+      reservation_ = a;
+      has_reservation_ = true;
+      if (hook_) hook_(a, n, /*is_store=*/false, /*is_fence=*/false);
+      break;
+    }
+    case Op::kScW: case Op::kScD: {
+      const Addr a = rs1;
+      const std::uint32_t n = inst.access_bytes();
+      if (has_reservation_ && reservation_ == a) {
+        mem_->write(a, rs2, n);
+        rd = 0;  // success
+        if (hook_) hook_(a, n, /*is_store=*/true, /*is_fence=*/false);
+      } else {
+        rd = 1;  // failure: no store performed
+      }
+      has_reservation_ = false;
+      break;
+    }
+    case Op::kAmoSwapW: case Op::kAmoAddW: case Op::kAmoXorW:
+    case Op::kAmoAndW: case Op::kAmoOrW:
+    case Op::kAmoSwapD: case Op::kAmoAddD: case Op::kAmoXorD:
+    case Op::kAmoAndD: case Op::kAmoOrD: {
+      const Addr a = rs1;
+      const std::uint32_t n = inst.access_bytes();
+      const bool word = n == 4;
+      std::uint64_t old = mem_->read(a, n);
+      if (word) old = static_cast<std::uint64_t>(sext32(old));
+      std::uint64_t next_val = rs2;
+      switch (inst.op) {
+        case Op::kAmoAddW: case Op::kAmoAddD: next_val = old + rs2; break;
+        case Op::kAmoXorW: case Op::kAmoXorD: next_val = old ^ rs2; break;
+        case Op::kAmoAndW: case Op::kAmoAndD: next_val = old & rs2; break;
+        case Op::kAmoOrW: case Op::kAmoOrD: next_val = old | rs2; break;
+        default: break;  // swap keeps rs2
+      }
+      mem_->write(a, next_val, n);
+      rd = old;
+      // The RMW appears on the trace as an indivisible load+store pair —
+      // the access shape GoblinCore-64 would ship as one HMC atomic packet.
+      if (hook_) {
+        hook_(a, n, /*is_store=*/false, /*is_fence=*/false);
+        hook_(a, n, /*is_store=*/true, /*is_fence=*/false);
+      }
+      break;
+    }
+
+    case Op::kInvalid:
+      fault_ = true;
+      writes_rd = false;
+      break;
+  }
+
+  if (writes_rd && inst.rd != 0) regs_[inst.rd] = rd;
+  regs_[0] = 0;
+  pc_ = next;
+}
+
+}  // namespace hmcc::riscv

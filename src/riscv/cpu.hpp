@@ -1,0 +1,67 @@
+// RV64IM functional core.
+//
+// Executes the unprivileged integer ISA over a SparseMemory. Loads, stores
+// and fences are reported to an optional trace hook — the same role the
+// paper's "memory tracer in the Spike simulator" plays: the resulting
+// per-core streams drive the cache + coalescer + HMC simulation.
+//
+// Halting convention: `ecall` with a7 == 93 (Linux exit) halts the core with
+// exit code a0; `ebreak` halts with code 0. Other ecalls are ignored.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "riscv/isa.hpp"
+#include "riscv/memory.hpp"
+
+namespace hmcc::riscv {
+
+class Rv64Core {
+ public:
+  /// Invoked for every data-memory access and fence the program performs.
+  using TraceHook =
+      std::function<void(Addr addr, std::uint32_t bytes, bool is_store,
+                         bool is_fence)>;
+
+  explicit Rv64Core(SparseMemory& mem) : mem_(&mem) {}
+
+  void set_trace_hook(TraceHook hook) { hook_ = std::move(hook); }
+  void set_pc(Addr pc) noexcept { pc_ = pc; }
+  [[nodiscard]] Addr pc() const noexcept { return pc_; }
+
+  [[nodiscard]] std::uint64_t reg(unsigned i) const noexcept {
+    return regs_[i];
+  }
+  void set_reg(unsigned i, std::uint64_t v) noexcept {
+    if (i != 0) regs_[i] = v;
+  }
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] std::uint64_t exit_code() const noexcept { return exit_code_; }
+  [[nodiscard]] std::uint64_t instructions_retired() const noexcept {
+    return retired_;
+  }
+
+  /// Execute one instruction. Returns false when halted or on decode fault.
+  bool step();
+
+  /// Run until halt or @p max_instructions retire. Returns retired count.
+  std::uint64_t run(std::uint64_t max_instructions = ~0ULL);
+
+ private:
+  void exec(const Instruction& inst);
+
+  SparseMemory* mem_;
+  TraceHook hook_;
+  std::uint64_t regs_[32] = {};
+  Addr pc_ = 0;
+  Addr reservation_ = 0;       ///< LR/SC reservation address
+  bool has_reservation_ = false;
+  bool halted_ = false;
+  bool fault_ = false;
+  std::uint64_t exit_code_ = 0;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace hmcc::riscv

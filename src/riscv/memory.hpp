@@ -1,0 +1,63 @@
+// Sparse byte-addressable memory for the RV64 core (page-granular map).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hmcc::riscv {
+
+class SparseMemory {
+ public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+
+  [[nodiscard]] std::uint8_t read8(Addr a) const {
+    const auto* page = find(a);
+    return page ? (*page)[a % kPageBytes] : 0;
+  }
+  void write8(Addr a, std::uint8_t v) { ensure(a)[a % kPageBytes] = v; }
+
+  /// Little-endian multi-byte access of @p n <= 8 bytes.
+  [[nodiscard]] std::uint64_t read(Addr a, unsigned n) const {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(read8(a + i)) << (8 * i);
+    }
+    return v;
+  }
+  void write(Addr a, std::uint64_t v, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) {
+      write8(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void write_block(Addr a, const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) write8(a + i, bytes[i]);
+  }
+
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+
+  [[nodiscard]] const Page* find(Addr a) const {
+    auto it = pages_.find(a / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+  Page& ensure(Addr a) {
+    Page& p = pages_[a / kPageBytes];
+    if (p.empty()) p.assign(kPageBytes, 0);
+    return p;
+  }
+
+  std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+}  // namespace hmcc::riscv

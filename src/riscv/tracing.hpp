@@ -1,0 +1,58 @@
+// Glue from the RV64 core to the memory-trace format: the in-repo
+// equivalent of the paper's Spike memory tracer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "riscv/assembler.hpp"
+#include "riscv/cpu.hpp"
+#include "trace/trace.hpp"
+
+namespace hmcc::riscv {
+
+struct TraceProgramResult {
+  trace::MultiTrace trace;
+  std::uint64_t instructions = 0;
+  bool all_exited_cleanly = true;
+};
+
+/// Run @p prog once per core (SPMD style: each core gets its own memory
+/// image, a0 = core id, a1 = core count) and capture every data access as a
+/// TraceRecord. Execution is functional; timing comes later from the
+/// System simulator, exactly like the paper's trace-then-simulate flow.
+inline TraceProgramResult trace_program(const AssembledProgram& prog,
+                                        std::uint32_t num_cores,
+                                        const std::string& entry = "_start",
+                                        std::uint64_t max_instructions =
+                                            10'000'000) {
+  TraceProgramResult result;
+  result.trace.per_core.resize(num_cores);
+  const Addr start = prog.symbol(entry).value_or(prog.base);
+  for (std::uint32_t core = 0; core < num_cores; ++core) {
+    SparseMemory mem;
+    prog.load_into(mem);
+    Rv64Core cpu(mem);
+    cpu.set_pc(start);
+    cpu.set_reg(10, core);       // a0
+    cpu.set_reg(11, num_cores);  // a1
+    cpu.set_reg(2, 0x7FFF0000);  // sp: top of a scratch stack region
+    auto& stream = result.trace.per_core[core];
+    cpu.set_trace_hook([&stream](Addr addr, std::uint32_t bytes,
+                                 bool is_store, bool is_fence) {
+      if (is_fence) {
+        stream.push_back(trace::TraceRecord::make_fence());
+      } else if (is_store) {
+        stream.push_back(trace::TraceRecord::store(addr, bytes));
+      } else {
+        stream.push_back(trace::TraceRecord::load(addr, bytes));
+      }
+    });
+    result.instructions += cpu.run(max_instructions);
+    result.all_exited_cleanly =
+        result.all_exited_cleanly && cpu.halted() && cpu.exit_code() == 0;
+  }
+  return result;
+}
+
+}  // namespace hmcc::riscv

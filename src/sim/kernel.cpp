@@ -1,0 +1,39 @@
+#include "sim/kernel.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hmcc {
+
+void Kernel::schedule_at(Cycle when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Kernel::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out before
+  // pop, so copy the POD fields and steal the function object.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++fired_;
+  ev.fn();
+  return true;
+}
+
+Cycle Kernel::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+bool Kernel::run_until(Cycle limit) {
+  while (!queue_.empty() && queue_.top().when <= limit) {
+    step();
+  }
+  if (now_ < limit) now_ = limit;
+  return !queue_.empty();
+}
+
+}  // namespace hmcc

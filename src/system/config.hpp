@@ -1,0 +1,81 @@
+// Full-system configuration (paper §5.2 platform).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/config.hpp"
+#include "coalescer/config.hpp"
+#include "common/types.hpp"
+#include "hmc/config.hpp"
+
+namespace hmcc::system {
+
+/// Which post-LLC miss-handling datapath to simulate.
+enum class CoalescerMode : std::uint8_t {
+  /// Every miss gets its own MSHR entry, fixed 64 B requests, no merging.
+  kNone,
+  /// Conventional MSHR-based coalescing: fixed 64 B requests, outstanding
+  /// misses to the same line merge as subentries (Fig 8 "MSHR" series).
+  kConventional,
+  /// First-phase only: sorting network + DMC unit, no MSHR merging
+  /// (Fig 8 "DMC" series).
+  kDmcOnly,
+  /// The full two-phase memory coalescer with stage-select bypass.
+  kFull,
+};
+
+[[nodiscard]] constexpr const char* to_string(CoalescerMode m) noexcept {
+  switch (m) {
+    case CoalescerMode::kNone: return "none";
+    case CoalescerMode::kConventional: return "conventional";
+    case CoalescerMode::kDmcOnly: return "dmc-only";
+    case CoalescerMode::kFull: return "coalescer";
+  }
+  return "?";
+}
+
+/// Simple out-of-order core front end: issues one memory access per
+/// issue_interval while it has an outstanding-miss slot free.
+struct CoreConfig {
+  std::uint32_t max_outstanding_misses = 16;  ///< per-core MLP
+  Cycle issue_interval = 1;                   ///< cycles between accesses
+};
+
+struct SystemConfig {
+  cache::HierarchyConfig hierarchy{};  // 12 cores, 16 LLC MSHRs
+  hmc::HmcConfig hmc{};                // 8 GB, 256 B blocks
+  coalescer::CoalescerConfig coalescer{};
+  CoreConfig core{};
+  CoalescerMode mode = CoalescerMode::kFull;
+};
+
+/// Derive the coalescer flag set for @p mode (leaves other knobs intact).
+inline void apply_mode(SystemConfig& cfg, CoalescerMode mode) {
+  cfg.mode = mode;
+  auto& c = cfg.coalescer;
+  switch (mode) {
+    case CoalescerMode::kNone:
+      c.enable_dmc = false;
+      c.enable_mshr_merge = false;
+      c.enable_bypass = false;
+      break;
+    case CoalescerMode::kConventional:
+      c.enable_dmc = false;
+      c.enable_mshr_merge = true;
+      c.enable_bypass = false;
+      break;
+    case CoalescerMode::kDmcOnly:
+      c.enable_dmc = true;
+      c.enable_mshr_merge = false;
+      c.enable_bypass = true;
+      break;
+    case CoalescerMode::kFull:
+      c.enable_dmc = true;
+      c.enable_mshr_merge = true;
+      c.enable_bypass = true;
+      break;
+  }
+  c.num_mshrs = cfg.hierarchy.llc_mshrs;
+}
+
+}  // namespace hmcc::system

@@ -1,0 +1,102 @@
+#include "system/config_bridge.hpp"
+
+#include "common/bits.hpp"
+#include "system/runner.hpp"
+
+namespace hmcc::system {
+namespace {
+
+std::uint32_t u32(const Config& cli, const char* key, std::uint32_t fb) {
+  return static_cast<std::uint32_t>(cli.get_uint(key, fb));
+}
+
+}  // namespace
+
+bool overlay_config(const Config& cli, SystemConfig& cfg) {
+  // Cores / front end.
+  cfg.hierarchy.num_cores = u32(cli, "cores", cfg.hierarchy.num_cores);
+  cfg.hierarchy.llc_mshrs = u32(cli, "llc_mshrs", cfg.hierarchy.llc_mshrs);
+  cfg.core.max_outstanding_misses =
+      u32(cli, "mlp", cfg.core.max_outstanding_misses);
+  cfg.core.issue_interval =
+      cli.get_uint("issue_interval", cfg.core.issue_interval);
+
+  // Caches.
+  cfg.hierarchy.l1.size_bytes =
+      cli.get_uint("l1_kb", cfg.hierarchy.l1.size_bytes >> 10) << 10;
+  cfg.hierarchy.l1.ways = u32(cli, "l1_ways", cfg.hierarchy.l1.ways);
+  cfg.hierarchy.l2.size_bytes =
+      cli.get_uint("l2_kb", cfg.hierarchy.l2.size_bytes >> 10) << 10;
+  cfg.hierarchy.l2.ways = u32(cli, "l2_ways", cfg.hierarchy.l2.ways);
+  cfg.hierarchy.llc.size_bytes =
+      cli.get_uint("llc_kb", cfg.hierarchy.llc.size_bytes >> 10) << 10;
+  cfg.hierarchy.llc.ways = u32(cli, "llc_ways", cfg.hierarchy.llc.ways);
+  const std::uint32_t line = u32(cli, "line_bytes", cfg.coalescer.line_bytes);
+  cfg.hierarchy.l1.line_bytes = line;
+  cfg.hierarchy.l2.line_bytes = line;
+  cfg.hierarchy.llc.line_bytes = line;
+  cfg.coalescer.line_bytes = line;
+
+  // Coalescer.
+  cfg.coalescer.window = u32(cli, "window", cfg.coalescer.window);
+  cfg.coalescer.tau = cli.get_uint("tau", cfg.coalescer.tau);
+  cfg.coalescer.timeout = cli.get_uint("timeout", cfg.coalescer.timeout);
+  cfg.coalescer.max_subentries =
+      u32(cli, "max_subentries", cfg.coalescer.max_subentries);
+  cfg.coalescer.enable_bypass =
+      cli.get_bool("bypass", cfg.coalescer.enable_bypass);
+  const std::string pipe = cli.get_string("pipeline", "");
+  if (pipe == "step") {
+    cfg.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStep;
+  } else if (pipe == "stage") {
+    cfg.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStage;
+  } else if (!pipe.empty()) {
+    return false;
+  }
+
+  // HMC.
+  cfg.hmc.capacity_bytes =
+      cli.get_uint("hmc_gb", cfg.hmc.capacity_bytes >> 30) << 30;
+  cfg.hmc.num_vaults = u32(cli, "vaults", cfg.hmc.num_vaults);
+  cfg.hmc.banks_per_vault = u32(cli, "banks", cfg.hmc.banks_per_vault);
+  cfg.hmc.num_links = u32(cli, "links", cfg.hmc.num_links);
+  cfg.hmc.block_bytes = u32(cli, "block_bytes", cfg.hmc.block_bytes);
+  cfg.coalescer.max_packet_bytes =
+      u32(cli, "max_packet", cfg.coalescer.max_packet_bytes);
+  cfg.hmc.closed_page = cli.get_bool("closed_page", cfg.hmc.closed_page);
+  cfg.hmc.t_rcd = cli.get_uint("t_rcd", cfg.hmc.t_rcd);
+  cfg.hmc.t_cl = cli.get_uint("t_cl", cfg.hmc.t_cl);
+  cfg.hmc.t_rp = cli.get_uint("t_rp", cfg.hmc.t_rp);
+  cfg.hmc.t_ras = cli.get_uint("t_ras", cfg.hmc.t_ras);
+  cfg.hmc.serdes_latency = cli.get_uint("serdes", cfg.hmc.serdes_latency);
+  cfg.hmc.xbar_latency = cli.get_uint("xbar", cfg.hmc.xbar_latency);
+  cfg.hmc.cycles_per_flit =
+      cli.get_uint("cycles_per_flit", cfg.hmc.cycles_per_flit);
+
+  // Datapath mode.
+  const std::string mode = cli.get_string("mode", "");
+  if (mode == "none") {
+    cfg.mode = CoalescerMode::kNone;
+  } else if (mode == "conventional") {
+    cfg.mode = CoalescerMode::kConventional;
+  } else if (mode == "dmc-only") {
+    cfg.mode = CoalescerMode::kDmcOnly;
+  } else if (mode == "coalescer" || mode == "full") {
+    cfg.mode = CoalescerMode::kFull;
+  } else if (!mode.empty()) {
+    return false;
+  }
+
+  apply_mode(cfg, cfg.mode);
+  return cfg.hmc.valid() && cfg.hierarchy.l1.valid() &&
+         cfg.hierarchy.l2.valid() && cfg.hierarchy.llc.valid() &&
+         is_pow2(cfg.coalescer.window);
+}
+
+SystemConfig config_from_cli(const Config& cli) {
+  SystemConfig cfg = paper_system_config();
+  overlay_config(cli, cfg);
+  return cfg;
+}
+
+}  // namespace hmcc::system

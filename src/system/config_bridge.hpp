@@ -1,0 +1,26 @@
+// Bridge from the generic key=value Config store to SystemConfig: every
+// platform knob of the simulated system is scriptable from a bench/example
+// command line. Unknown keys are left to the caller; known keys:
+//
+//   cores, llc_mshrs, mlp, issue_interval
+//   l1_kb, l1_ways, l2_kb, l2_ways, llc_kb, llc_ways, line_bytes
+//   window, tau, timeout, max_subentries, bypass, pipeline (stage|step)
+//   hmc_gb, vaults, banks, links, block_bytes, closed_page
+//   t_rcd, t_cl, t_rp, t_ras, serdes, xbar, cycles_per_flit
+//   mode (none|conventional|dmc-only|coalescer)
+#pragma once
+
+#include "common/config.hpp"
+#include "system/config.hpp"
+
+namespace hmcc::system {
+
+/// Overlay @p cli onto @p cfg (missing keys keep cfg's values), then
+/// re-apply the mode so derived flags stay consistent. Returns false if a
+/// provided value is structurally invalid (e.g. non-power-of-two vaults).
+bool overlay_config(const Config& cli, SystemConfig& cfg);
+
+/// Convenience: the paper platform with @p cli overlaid.
+[[nodiscard]] SystemConfig config_from_cli(const Config& cli);
+
+}  // namespace hmcc::system

@@ -1,0 +1,37 @@
+#include "system/runner.hpp"
+
+#include <stdexcept>
+
+namespace hmcc::system {
+
+SystemConfig paper_system_config() {
+  SystemConfig cfg;  // defaults already encode the paper's platform
+  apply_mode(cfg, CoalescerMode::kFull);
+  return cfg;
+}
+
+RunResult run_workload(const std::string& workload, SystemConfig cfg,
+                       const workloads::WorkloadParams& params) {
+  auto gen = workloads::make_workload(workload);
+  if (!gen) throw std::invalid_argument("unknown workload: " + workload);
+  workloads::WorkloadParams p = params;
+  p.num_cores = cfg.hierarchy.num_cores;
+  const trace::MultiTrace mtrace = gen->generate(p);
+  System sys(cfg);
+  RunResult r;
+  r.workload = workload;
+  r.mode = cfg.mode;
+  r.report = sys.run(mtrace);
+  return r;
+}
+
+std::vector<RunResult> run_all_workloads(
+    SystemConfig cfg, const workloads::WorkloadParams& params) {
+  std::vector<RunResult> results;
+  for (const std::string& name : workloads::workload_names()) {
+    results.push_back(run_workload(name, cfg, params));
+  }
+  return results;
+}
+
+}  // namespace hmcc::system

@@ -1,0 +1,34 @@
+// Experiment runner: the one-call entry points the bench harnesses and
+// examples use to reproduce the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "system/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace hmcc::system {
+
+struct RunResult {
+  std::string workload;
+  CoalescerMode mode = CoalescerMode::kFull;
+  SystemReport report;
+};
+
+/// Build the paper's default platform: 12 cores at 3.3 GHz, 16 LLC MSHRs,
+/// 8 GB HMC with 256 B block addressing, n=16 coalescing window, tau=2.
+[[nodiscard]] SystemConfig paper_system_config();
+
+/// Generate the named workload and run it under @p cfg. The workload/seed
+/// pair is deterministic, so two calls with different modes see identical
+/// traces.
+[[nodiscard]] RunResult run_workload(const std::string& workload,
+                                     SystemConfig cfg,
+                                     const workloads::WorkloadParams& params);
+
+/// Run every paper workload under @p cfg.
+[[nodiscard]] std::vector<RunResult> run_all_workloads(
+    SystemConfig cfg, const workloads::WorkloadParams& params);
+
+}  // namespace hmcc::system

@@ -1,0 +1,82 @@
+// Memory trace records and containers.
+//
+// The paper obtains per-core memory footprints from a tracer inside the
+// RISC-V Spike simulator; this module is the equivalent interchange format.
+// Traces are per-core (one stream per hardware thread): the system layer
+// interleaves them through its core timing model, so bursts and inter-core
+// mixing emerge from timing rather than being baked into a merged stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hmcc::trace {
+
+struct TraceRecord {
+  Addr addr = 0;
+  std::uint32_t size = 8;  ///< bytes actually touched by the CPU access
+  ReqType type = ReqType::kLoad;
+  bool fence = false;    ///< memory fence marker (addr/size ignored)
+  bool barrier = false;  ///< thread barrier marker (OpenMP join)
+
+  [[nodiscard]] static TraceRecord load(Addr a, std::uint32_t s = 8) {
+    return TraceRecord{a, s, ReqType::kLoad, false, false};
+  }
+  [[nodiscard]] static TraceRecord store(Addr a, std::uint32_t s = 8) {
+    return TraceRecord{a, s, ReqType::kStore, false, false};
+  }
+  [[nodiscard]] static TraceRecord make_fence() {
+    return TraceRecord{0, 0, ReqType::kLoad, true, false};
+  }
+  /// Thread barrier: the core stalls until every still-running core reaches
+  /// its own barrier record (the cores must emit them pairwise-matched, as
+  /// OpenMP parallel-for joins do).
+  [[nodiscard]] static TraceRecord make_barrier() {
+    return TraceRecord{0, 0, ReqType::kLoad, false, true};
+  }
+};
+
+/// One memory access stream per core.
+struct MultiTrace {
+  std::vector<std::vector<TraceRecord>> per_core;
+
+  [[nodiscard]] std::size_t num_cores() const noexcept {
+    return per_core.size();
+  }
+  [[nodiscard]] std::uint64_t total_records() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& t : per_core) n += t.size();
+    return n;
+  }
+};
+
+/// Summary statistics of a trace (workload-generator sanity checking).
+struct TraceProfile {
+  std::uint64_t records = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t distinct_lines = 0;   ///< 64 B-line footprint
+  double sequential_fraction = 0.0;   ///< accesses adjacent to predecessor
+  Accumulator size;
+
+  [[nodiscard]] double store_fraction() const noexcept {
+    const std::uint64_t ops = loads + stores;
+    return ops ? static_cast<double>(stores) / static_cast<double>(ops) : 0.0;
+  }
+};
+
+[[nodiscard]] TraceProfile profile(const MultiTrace& trace);
+
+/// Binary save/load (little-endian, versioned header). Returns false on I/O
+/// or format errors.
+bool save(const MultiTrace& trace, const std::string& path);
+bool load(MultiTrace& trace, const std::string& path);
+
+}  // namespace hmcc::trace

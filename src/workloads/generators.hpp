@@ -1,0 +1,54 @@
+// Internal factory functions and shared helpers for the workload generators.
+//
+// The paper's benchmarks are shared-memory OpenMP/MPI programs on 12 cores.
+// Two consequences shape every generator here (§3.1 of the paper):
+//  * parallel loops use fine-grained (cyclic) chunk scheduling over SHARED
+//    arrays, so at any instant the cores collectively touch *consecutive*
+//    lines — the aggregated LLC miss stream is exactly what the shared
+//    memory coalescer was designed to exploit;
+//  * lookup structures (gather tables, vectors, histograms) are shared and
+//    skewed, so two cores frequently miss the same line while it is already
+//    in flight — the conventional-MSHR merging the Figure 8 baseline relies
+//    on.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace hmcc::workloads::detail {
+
+std::unique_ptr<Workload> make_sg();        // Scatter/Gather kernel
+std::unique_ptr<Workload> make_stream();    // STREAM triad
+std::unique_ptr<Workload> make_hpcg();      // HPCG 27-pt SpMV
+std::unique_ptr<Workload> make_cg();        // NAS CG random-sparsity SpMV
+std::unique_ptr<Workload> make_ssca2();     // SSCA2 graph traversal
+std::unique_ptr<Workload> make_sparselu();  // BOTS SparseLU
+std::unique_ptr<Workload> make_sort();      // BOTS mergesort
+std::unique_ptr<Workload> make_ep();        // NAS EP
+std::unique_ptr<Workload> make_ft();        // NAS FT transpose
+std::unique_ptr<Workload> make_is();        // NAS IS bucket sort
+std::unique_ptr<Workload> make_lu();        // NAS LU
+std::unique_ptr<Workload> make_sp();        // NAS SP
+
+/// Base of the shared data segment.
+inline Addr shared_base(const WorkloadParams& p) { return p.base_addr; }
+
+/// Private per-core scratch (64 MB apart, above the shared segment).
+inline Addr core_base(const WorkloadParams& p, std::uint32_t core) {
+  return p.base_addr + (1ULL << 32) + static_cast<Addr>(core) * (64ULL << 20);
+}
+
+/// Skewed index in [0, n): a light-weight Zipf-like distribution (a few hot
+/// entries, long uniform tail) modeling shared-table popularity.
+inline std::uint64_t skewed_index(Xoshiro256& rng, std::uint64_t n) {
+  const double u = rng.uniform();
+  // Cubing concentrates ~12% of draws in the first 5% of the table while
+  // keeping full coverage.
+  const double v = u * u * u;
+  auto idx = static_cast<std::uint64_t>(v * static_cast<double>(n));
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace hmcc::workloads::detail

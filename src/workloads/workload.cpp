@@ -1,0 +1,31 @@
+#include "workloads/workload.hpp"
+
+#include "workloads/generators.hpp"
+
+namespace hmcc::workloads {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "sg", "hpcg", "ssca2", "stream", "sparselu", "sort",
+      "cg", "ep",   "ft",    "is",     "lu",       "sp"};
+  return names;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  using namespace detail;
+  if (name == "sg") return make_sg();
+  if (name == "hpcg") return make_hpcg();
+  if (name == "ssca2") return make_ssca2();
+  if (name == "stream") return make_stream();
+  if (name == "sparselu") return make_sparselu();
+  if (name == "sort") return make_sort();
+  if (name == "cg") return make_cg();
+  if (name == "ep") return make_ep();
+  if (name == "ft") return make_ft();
+  if (name == "is") return make_is();
+  if (name == "lu") return make_lu();
+  if (name == "sp") return make_sp();
+  return nullptr;
+}
+
+}  // namespace hmcc::workloads

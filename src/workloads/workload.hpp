@@ -1,0 +1,58 @@
+// Workload framework: synthetic, benchmark-shaped memory-trace generators.
+//
+// The paper evaluates 12 benchmarks (Scatter/Gather, HPCG, SSCA2, STREAM,
+// BOTS and NAS-PB suites) traced via RISC-V Spike.  Those binaries and
+// traces are not redistributable, so each workload here reproduces the
+// *memory shape* the original is known for — stride pattern, payload sizes,
+// sparsity, working-set, per-core partitioning — which is all Figures 8-15
+// depend on.  Every generator is deterministic in (seed, params).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace hmcc::workloads {
+
+struct WorkloadParams {
+  std::uint32_t num_cores = 12;
+  /// Approximate CPU memory accesses generated per core (each workload
+  /// scales this by its own volume factor to mirror the paper's relative
+  /// trace sizes, e.g. LU/SP are the largest).
+  std::uint64_t accesses_per_core = 40000;
+  std::uint64_t seed = 1;
+  /// Base of the workload's data segment in physical memory.
+  Addr base_addr = 1ULL << 30;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Human-readable description of the pattern being mimicked.
+  [[nodiscard]] virtual std::string description() const = 0;
+  [[nodiscard]] virtual trace::MultiTrace generate(
+      const WorkloadParams& params) const = 0;
+
+  /// Fraction of the original application's baseline runtime spent in the
+  /// memory-intensive phases this trace captures. The paper reports
+  /// whole-application runtimes; our traces replay only the memory-bound
+  /// phases (compute-heavy stretches — FFT butterflies, LU arithmetic,
+  /// RNG — are not traced). Figure 15 composes the measured memory-phase
+  /// speedup with this fraction (Amdahl) to report application-level
+  /// improvements comparable to the paper's. Calibrated per benchmark; see
+  /// EXPERIMENTS.md.
+  [[nodiscard]] virtual double memory_phase_fraction() const { return 1.0; }
+};
+
+/// The paper's 12 benchmarks, in the order the figures list them.
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+/// Factory; returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(const std::string& name);
+
+}  // namespace hmcc::workloads

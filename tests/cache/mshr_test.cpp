@@ -1,0 +1,77 @@
+#include "cache/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcc::cache {
+namespace {
+
+TEST(Mshr, AllocateThenMergeThenFill) {
+  MshrFile mshr(4);
+  EXPECT_EQ(mshr.on_miss(0x100, {1}), MshrFile::Outcome::kAllocated);
+  EXPECT_EQ(mshr.on_miss(0x100, {2}), MshrFile::Outcome::kMerged);
+  EXPECT_EQ(mshr.on_miss(0x100, {3}), MshrFile::Outcome::kMerged);
+  EXPECT_EQ(mshr.in_use(), 1u);
+
+  auto targets = mshr.on_fill(0x100);
+  ASSERT_TRUE(targets.has_value());
+  ASSERT_EQ(targets->size(), 3u);
+  EXPECT_EQ((*targets)[0].token, 1u);
+  EXPECT_EQ((*targets)[2].token, 3u);
+  EXPECT_EQ(mshr.in_use(), 0u);
+}
+
+TEST(Mshr, FullFileRejects) {
+  MshrFile mshr(2);
+  EXPECT_EQ(mshr.on_miss(0x0, {1}), MshrFile::Outcome::kAllocated);
+  EXPECT_EQ(mshr.on_miss(0x40, {2}), MshrFile::Outcome::kAllocated);
+  EXPECT_TRUE(mshr.full());
+  EXPECT_EQ(mshr.on_miss(0x80, {3}), MshrFile::Outcome::kFull);
+  // Merging into existing entries still works when full.
+  EXPECT_EQ(mshr.on_miss(0x40, {4}), MshrFile::Outcome::kMerged);
+  EXPECT_EQ(mshr.stats().stalls_full, 1u);
+}
+
+TEST(Mshr, SubentryOverflowBehavesLikeFull) {
+  MshrFile mshr(4, /*max_subentries=*/2);
+  EXPECT_EQ(mshr.on_miss(0x0, {1}), MshrFile::Outcome::kAllocated);
+  EXPECT_EQ(mshr.on_miss(0x0, {2}), MshrFile::Outcome::kMerged);
+  EXPECT_EQ(mshr.on_miss(0x0, {3}), MshrFile::Outcome::kFull);
+}
+
+TEST(Mshr, FillUnknownLineReturnsNothing) {
+  MshrFile mshr(2);
+  EXPECT_FALSE(mshr.on_fill(0x1234).has_value());
+}
+
+TEST(Mshr, EntryReusableAfterFill) {
+  MshrFile mshr(1);
+  EXPECT_EQ(mshr.on_miss(0x0, {1}), MshrFile::Outcome::kAllocated);
+  EXPECT_EQ(mshr.on_miss(0x40, {2}), MshrFile::Outcome::kFull);
+  ASSERT_TRUE(mshr.on_fill(0x0).has_value());
+  EXPECT_EQ(mshr.on_miss(0x40, {2}), MshrFile::Outcome::kAllocated);
+}
+
+TEST(Mshr, ContainsAndStats) {
+  MshrFile mshr(4);
+  mshr.on_miss(0xC0, {9});
+  EXPECT_TRUE(mshr.contains(0xC0));
+  EXPECT_FALSE(mshr.contains(0x80));
+  mshr.on_miss(0xC0, {10});
+  EXPECT_EQ(mshr.stats().allocations, 1u);
+  EXPECT_EQ(mshr.stats().merges, 1u);
+  mshr.on_fill(0xC0);
+  EXPECT_EQ(mshr.stats().frees, 1u);
+  EXPECT_FALSE(mshr.contains(0xC0));
+}
+
+TEST(Mshr, ResetClears) {
+  MshrFile mshr(2);
+  mshr.on_miss(0x0, {1});
+  mshr.reset();
+  EXPECT_EQ(mshr.in_use(), 0u);
+  EXPECT_FALSE(mshr.contains(0x0));
+  EXPECT_EQ(mshr.stats().allocations, 0u);
+}
+
+}  // namespace
+}  // namespace hmcc::cache

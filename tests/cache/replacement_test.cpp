@@ -1,0 +1,70 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcc::cache {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyTouched) {
+  LruPolicy lru(1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) lru.touch(0, w);
+  EXPECT_EQ(lru.victim(0), 0u);
+  lru.touch(0, 0);
+  EXPECT_EQ(lru.victim(0), 1u);
+  lru.touch(0, 1);
+  lru.touch(0, 2);
+  EXPECT_EQ(lru.victim(0), 3u);
+}
+
+TEST(Lru, SetsAreIndependent) {
+  LruPolicy lru(2, 2);
+  lru.touch(0, 0);
+  lru.touch(0, 1);
+  lru.touch(1, 1);
+  lru.touch(1, 0);
+  EXPECT_EQ(lru.victim(0), 0u);
+  EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(TreePlru, VictimAvoidsMostRecentlyTouched) {
+  TreePlruPolicy plru(1, 8);
+  for (std::uint32_t w = 0; w < 8; ++w) plru.touch(0, w);
+  // The exact victim is implementation-defined, but it must never be the
+  // most recently touched way.
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    plru.touch(0, w);
+    EXPECT_NE(plru.victim(0), w);
+  }
+}
+
+TEST(TreePlru, CyclesThroughAllWays) {
+  // Touching the victim each time must visit every way eventually.
+  TreePlruPolicy plru(1, 4);
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = plru.victim(0);
+    ASSERT_LT(v, 4u);
+    seen[v] = true;
+    plru.touch(0, v);
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Random, DeterministicAndInRange) {
+  RandomPolicy r1(4, 8, 99);
+  RandomPolicy r2(4, 8, 99);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t v = r1.victim(0);
+    EXPECT_EQ(v, r2.victim(0));
+    EXPECT_LT(v, 8u);
+  }
+}
+
+TEST(Factory, MakesEachKind) {
+  EXPECT_NE(make_policy(ReplacementKind::kLru, 2, 2), nullptr);
+  EXPECT_NE(make_policy(ReplacementKind::kTreePlru, 2, 2), nullptr);
+  EXPECT_NE(make_policy(ReplacementKind::kRandom, 2, 2), nullptr);
+}
+
+}  // namespace
+}  // namespace hmcc::cache

@@ -1,0 +1,91 @@
+// Parameterized sweep over coalescer configurations: for every (window,
+// tau, shape, mshrs) combination the coalescer must preserve the token
+// stream, respect packet legality, and quiesce.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "coalescer/coalescer.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace hmcc::coalescer {
+namespace {
+
+// (window, tau, per_step_pipeline, num_mshrs, bypass)
+using Shape = std::tuple<std::uint32_t, Cycle, bool, std::uint32_t, bool>;
+
+class CoalescerShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CoalescerShapeTest, RandomTrafficRoundTrips) {
+  const auto [window, tau, per_step, mshrs, bypass] = GetParam();
+  CoalescerConfig cfg;
+  cfg.window = window;
+  cfg.tau = tau;
+  cfg.pipeline_shape =
+      per_step ? PipelineShape::kPerStep : PipelineShape::kPerStage;
+  cfg.num_mshrs = mshrs;
+  cfg.enable_bypass = bypass;
+
+  Kernel kernel;
+  std::multiset<std::uint64_t> issued_tokens;
+  std::multiset<std::uint64_t> completed_tokens;
+  std::uint64_t wire_bytes = 0;
+  MemoryCoalescer* coalescer_ptr = nullptr;
+  MemoryCoalescer coalescer(
+      kernel, cfg,
+      [&](const CoalescedPacket& pkt) {
+        EXPECT_TRUE(pkt.bytes == 64 || pkt.bytes == 128 || pkt.bytes == 256);
+        EXPECT_EQ(align_down(pkt.addr, 256),
+                  align_down(pkt.end() - 1, 256));
+        wire_bytes += pkt.bytes;
+        kernel.schedule(250 + pkt.bytes, [&, id = pkt.id] {
+          coalescer_ptr->on_memory_response(id);
+        });
+      },
+      [&](Addr, std::uint64_t token) { completed_tokens.insert(token); });
+  coalescer_ptr = &coalescer;
+
+  Xoshiro256 rng(static_cast<std::uint64_t>(window) * 131 + tau * 7 +
+                 mshrs * 3 + (per_step ? 1 : 0));
+  const std::uint64_t n = 400;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CoalescerRequest r{};
+    r.addr = rng.below(1 << 14) * 64;
+    r.type = rng.chance(0.3) ? ReqType::kStore : ReqType::kLoad;
+    r.payload_bytes = 8;
+    r.token = i;
+    issued_tokens.insert(i);
+    coalescer.submit(r);
+    if (i % 117 == 116) coalescer.submit_fence();
+  }
+  kernel.run();
+  EXPECT_EQ(completed_tokens, issued_tokens);
+  EXPECT_TRUE(coalescer.idle());
+  EXPECT_GT(wire_bytes, 0u);
+  EXPECT_LE(coalescer.stats().memory_requests,
+            coalescer.stats().raw_requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CoalescerShapeTest,
+    ::testing::Values(Shape{16, 2, false, 16, false},  // paper design
+                      Shape{16, 2, true, 16, false},   // 10-stage pipe
+                      Shape{16, 2, false, 16, true},   // with bypass
+                      Shape{8, 2, false, 16, false},   // narrow window
+                      Shape{32, 2, false, 16, true},   // wide window
+                      Shape{16, 1, false, 16, false},  // fast comparators
+                      Shape{16, 4, true, 8, true},     // slow + few MSHRs
+                      Shape{4, 2, false, 2, false},    // tiny everything
+                      Shape{64, 2, true, 32, true}),   // big everything
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_tau" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_step" : "_stage") + "_m" +
+             std::to_string(std::get<3>(info.param)) +
+             (std::get<4>(info.param) ? "_bypass" : "_nobypass");
+    });
+
+}  // namespace
+}  // namespace hmcc::coalescer

@@ -1,0 +1,139 @@
+#include "coalescer/sorting_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "coalescer/request.hpp"
+
+namespace hmcc::coalescer {
+namespace {
+
+TEST(SortingNetwork, PaperQuotedStructureForN16) {
+  SortingNetwork net(16);
+  // §3.3: "the entire network consists of four stages and 10 steps";
+  // §4.1: 63 comparators.
+  EXPECT_EQ(net.num_stages(), 4u);
+  EXPECT_EQ(net.num_steps(), 10u);
+  EXPECT_EQ(net.num_comparators(), 63u);
+}
+
+TEST(SortingNetwork, StageStepCountsFollowTriangular) {
+  for (std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    SortingNetwork net(n);
+    const std::uint32_t k = net.num_stages();
+    EXPECT_EQ(1u << k, n);
+    EXPECT_EQ(net.num_steps(), k * (k + 1) / 2);
+    for (std::uint32_t s = 0; s < k; ++s) {
+      EXPECT_EQ(net.stage(s).size(), s + 1) << "stage " << s;
+    }
+  }
+}
+
+TEST(SortingNetwork, StepsAreParallelComparatorSets) {
+  // Within one step no wire may appear twice (that's what lets all
+  // comparators of a step fire in the same tau).
+  SortingNetwork net(32);
+  for (std::uint32_t s = 0; s < net.num_stages(); ++s) {
+    for (const auto& step : net.stage(s)) {
+      std::vector<bool> used(32, false);
+      for (const Comparator& c : step) {
+        ASSERT_LT(c.lo, c.hi);
+        ASSERT_LT(c.hi, 32u);
+        EXPECT_FALSE(used[c.lo]);
+        EXPECT_FALSE(used[c.hi]);
+        used[c.lo] = used[c.hi] = true;
+      }
+    }
+  }
+}
+
+TEST(SortingNetwork, ZeroOnePrincipleSmallWidths) {
+  // A comparator network sorts all inputs iff it sorts all 0/1 inputs.
+  for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+    SortingNetwork net(n);
+    EXPECT_TRUE(net.verify_zero_one()) << "n=" << n;
+  }
+}
+
+TEST(SortingNetwork, SortsRandomPermutations) {
+  Xoshiro256 rng(11);
+  for (std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    SortingNetwork net(n);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint64_t> keys(n);
+      for (auto& k : keys) k = rng.below(1000);
+      std::vector<std::uint64_t> expect = keys;
+      std::sort(expect.begin(), expect.end());
+      net.sort(keys);
+      EXPECT_EQ(keys, expect);
+    }
+  }
+}
+
+TEST(SortingNetwork, SortsAdversarialPatterns) {
+  SortingNetwork net(16);
+  std::vector<std::vector<std::uint64_t>> patterns = {
+      {15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0},  // reversed
+      {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},        // constant
+      {1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0},        // alternating
+      {0, 1, 2, 3, 4, 5, 6, 7, 7, 6, 5, 4, 3, 2, 1, 0},        // bitonic
+      {8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7},  // rotated
+  };
+  for (auto keys : patterns) {
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    net.sort(keys);
+    EXPECT_EQ(keys, expect);
+  }
+}
+
+TEST(SortingNetwork, StagesNeededMatchesRunLengthArgument) {
+  SortingNetwork net(16);
+  EXPECT_EQ(net.stages_needed(0), 0u);
+  EXPECT_EQ(net.stages_needed(1), 0u);
+  EXPECT_EQ(net.stages_needed(2), 1u);
+  EXPECT_EQ(net.stages_needed(5), 3u);
+  EXPECT_EQ(net.stages_needed(8), 3u);
+  EXPECT_EQ(net.stages_needed(9), 4u);
+  EXPECT_EQ(net.stages_needed(16), 4u);
+}
+
+TEST(SortingNetwork, StageSelectSortsPaddedWindows) {
+  // §3.3's stage-select claim: with <= n/2 valid keys in the window prefix
+  // (tail padded with maximal keys), the final stage can be skipped.
+  Xoshiro256 rng(13);
+  SortingNetwork net(16);
+  for (std::uint32_t valid = 1; valid <= 16; ++valid) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<std::uint64_t> keys(16, kInvalidKey);
+      for (std::uint32_t i = 0; i < valid; ++i) keys[i] = rng.below(1 << 20);
+      auto expect = keys;
+      std::sort(expect.begin(), expect.end());
+      net.sort_partial(keys, net.stages_needed(valid));
+      EXPECT_EQ(keys, expect) << "valid=" << valid;
+    }
+  }
+}
+
+TEST(SortingNetwork, PartialSortWithTooFewStagesCanFail) {
+  // Sanity that stage-select is not vacuous: a full window genuinely needs
+  // all stages.
+  SortingNetwork net(16);
+  std::vector<std::uint64_t> keys = {15, 14, 13, 12, 11, 10, 9, 8,
+                                     7,  6,  5,  4,  3,  2,  1, 0};
+  net.sort_partial(keys, 3);
+  EXPECT_FALSE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(SortingNetwork, ComparatorCountBeatsNaivePerStepBound) {
+  // Hardware sizing numbers used by the §4.1 ablation bench.
+  SortingNetwork net(16);
+  EXPECT_EQ(net.max_comparators_per_step(), 8u);
+  EXPECT_LE(net.num_comparators(), 63u);
+}
+
+}  // namespace
+}  // namespace hmcc::coalescer

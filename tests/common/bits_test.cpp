@@ -1,0 +1,64 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcc {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(64), 6u);
+  EXPECT_EQ(log2_floor(255), 7u);
+  EXPECT_EQ(log2_floor(~0ULL), 63u);
+}
+
+TEST(Bits, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(16), 4u);
+  EXPECT_EQ(log2_ceil(17), 5u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0ULL);
+  EXPECT_EQ(low_mask(1), 1ULL);
+  EXPECT_EQ(low_mask(8), 0xFFULL);
+  EXPECT_EQ(low_mask(52), 0xFFFFFFFFFFFFFULL);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+TEST(Bits, ExtractBits) {
+  EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCULL);
+  EXPECT_EQ(bits(~0ULL, 60, 4), 0xFULL);
+  EXPECT_EQ(bits(0x1234, 0, 4), 4ULL);
+}
+
+TEST(Bits, AlignDownUp) {
+  EXPECT_EQ(align_down(100, 64), 64ULL);
+  EXPECT_EQ(align_down(64, 64), 64ULL);
+  EXPECT_EQ(align_up(100, 64), 128ULL);
+  EXPECT_EQ(align_up(64, 64), 64ULL);
+  EXPECT_EQ(align_up(0, 64), 0ULL);
+}
+
+TEST(Bits, RangesOverlap) {
+  EXPECT_TRUE(ranges_overlap(0, 10, 5, 10));
+  EXPECT_FALSE(ranges_overlap(0, 10, 10, 10));  // adjacency is not overlap
+  EXPECT_TRUE(ranges_overlap(5, 1, 0, 10));
+  EXPECT_FALSE(ranges_overlap(0, 1, 1, 1));
+}
+
+}  // namespace
+}  // namespace hmcc

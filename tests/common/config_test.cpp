@@ -1,0 +1,50 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcc {
+namespace {
+
+TEST(Config, SetFromString) {
+  Config c;
+  EXPECT_TRUE(c.set_from_string("key=value"));
+  EXPECT_EQ(c.get_string("key", ""), "value");
+  EXPECT_FALSE(c.set_from_string("novalue"));
+  EXPECT_FALSE(c.set_from_string("=bad"));
+  EXPECT_TRUE(c.set_from_string("empty="));
+  EXPECT_EQ(c.get_string("empty", "x"), "");
+}
+
+TEST(Config, TypedGetters) {
+  Config c;
+  c.set("i", "-42");
+  c.set("u", "0x10");
+  c.set("d", "2.5");
+  c.set("b1", "true");
+  c.set("b0", "off");
+  EXPECT_EQ(c.get_int("i", 0), -42);
+  EXPECT_EQ(c.get_uint("u", 0), 16u);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0), 2.5);
+  EXPECT_TRUE(c.get_bool("b1", false));
+  EXPECT_FALSE(c.get_bool("b0", true));
+}
+
+TEST(Config, FallbacksOnMissingOrMalformed) {
+  Config c;
+  c.set("junk", "12abc");
+  EXPECT_EQ(c.get_int("junk", 7), 7);
+  EXPECT_EQ(c.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(c.get_bool("junk", true));
+}
+
+TEST(Config, ParseArgs) {
+  const char* argv[] = {"prog", "a=1", "not-an-assignment", "b=two"};
+  Config c;
+  EXPECT_EQ(c.parse_args(4, argv), 2u);
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_string("b", ""), "two");
+}
+
+}  // namespace
+}  // namespace hmcc

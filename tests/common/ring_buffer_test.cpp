@@ -1,0 +1,84 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hmcc {
+namespace {
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rb.push(i));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(99));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rb.pop(), i);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapAround) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.pop(), 1);
+  rb.push(3);
+  rb.push(4);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+}
+
+TEST(RingBuffer, IndexedAccess) {
+  RingBuffer<int> rb(5);
+  rb.push(10);
+  rb.push(20);
+  rb.push(30);
+  rb.pop();
+  rb.push(40);
+  EXPECT_EQ(rb.at(0), 20);
+  EXPECT_EQ(rb.at(1), 30);
+  EXPECT_EQ(rb.at(2), 40);
+  EXPECT_EQ(rb.front(), 20);
+}
+
+TEST(RingBuffer, EraseMiddlePreservesOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 1; i <= 4; ++i) rb.push(i);
+  rb.erase_at(1);  // remove 2
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.at(0), 1);
+  EXPECT_EQ(rb.at(1), 3);
+  EXPECT_EQ(rb.at(2), 4);
+  rb.erase_at(2);  // remove 4
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.at(1), 3);
+  rb.erase_at(0);
+  EXPECT_EQ(rb.front(), 3);
+}
+
+TEST(RingBuffer, EraseAcrossWrap) {
+  RingBuffer<std::string> rb(3);
+  rb.push("a");
+  rb.push("b");
+  rb.pop();
+  rb.push("c");
+  rb.push("d");  // storage wrapped
+  rb.erase_at(1);  // remove "c"
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.at(0), "b");
+  EXPECT_EQ(rb.at(1), "d");
+}
+
+TEST(RingBuffer, Clear) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(5));
+  EXPECT_EQ(rb.front(), 5);
+}
+
+}  // namespace
+}  // namespace hmcc

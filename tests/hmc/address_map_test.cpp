@@ -1,0 +1,101 @@
+#include "hmc/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hmcc::hmc {
+namespace {
+
+HmcConfig default_cfg() {
+  HmcConfig cfg;
+  EXPECT_TRUE(cfg.valid());
+  return cfg;
+}
+
+TEST(AddressMap, ConfigDerivedQuantities) {
+  const HmcConfig cfg = default_cfg();
+  EXPECT_EQ(cfg.vaults_per_quadrant(), 8u);
+  EXPECT_EQ(cfg.vault_capacity(), 256ULL << 20);
+  EXPECT_EQ(cfg.rows_per_bank(), (256ULL << 20) / 16 / 4096);
+}
+
+TEST(AddressMap, ConsecutiveBlocksStripeAcrossVaults) {
+  const HmcConfig cfg = default_cfg();
+  AddressMap map(cfg);
+  for (std::uint32_t b = 0; b < 64; ++b) {
+    const DecodedAddr d = map.decode(static_cast<Addr>(b) * cfg.block_bytes);
+    EXPECT_EQ(d.vault, b % cfg.num_vaults);
+    EXPECT_EQ(d.offset, 0u);
+  }
+}
+
+TEST(AddressMap, RequestWithinBlockSharesVaultBankRow) {
+  const HmcConfig cfg = default_cfg();
+  AddressMap map(cfg);
+  const Addr base = 0x1234 * cfg.block_bytes;
+  const DecodedAddr d0 = map.decode(base);
+  for (std::uint32_t off = 1; off < cfg.block_bytes; ++off) {
+    const DecodedAddr d = map.decode(base + off);
+    EXPECT_EQ(d.vault, d0.vault);
+    EXPECT_EQ(d.bank, d0.bank);
+    EXPECT_EQ(d.row, d0.row);
+    EXPECT_EQ(d.offset, off);
+  }
+}
+
+TEST(AddressMap, EncodeDecodeRoundTrip) {
+  const HmcConfig cfg = default_cfg();
+  AddressMap map(cfg);
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const Addr addr = rng.below(cfg.capacity_bytes);
+    const DecodedAddr d = map.decode(addr);
+    EXPECT_EQ(map.encode(d), addr);
+    EXPECT_LT(d.vault, cfg.num_vaults);
+    EXPECT_LT(d.bank, cfg.banks_per_vault);
+    EXPECT_LT(d.row, cfg.rows_per_bank());
+    EXPECT_LT(d.column, cfg.row_bytes);
+  }
+}
+
+TEST(AddressMap, AddressesAboveCapacityWrap) {
+  const HmcConfig cfg = default_cfg();
+  AddressMap map(cfg);
+  const Addr addr = 0x123456;
+  const DecodedAddr lo = map.decode(addr);
+  const DecodedAddr hi = map.decode(addr + cfg.capacity_bytes);
+  EXPECT_EQ(lo.vault, hi.vault);
+  EXPECT_EQ(lo.bank, hi.bank);
+  EXPECT_EQ(lo.row, hi.row);
+  EXPECT_EQ(lo.column, hi.column);
+}
+
+TEST(AddressMap, SmallConfigDecodesExhaustively) {
+  HmcConfig cfg;
+  cfg.capacity_bytes = 1 << 20;
+  cfg.num_vaults = 4;
+  cfg.banks_per_vault = 4;
+  cfg.num_links = 2;
+  cfg.row_bytes = 1024;
+  ASSERT_TRUE(cfg.valid());
+  AddressMap map(cfg);
+  for (Addr a = 0; a < cfg.capacity_bytes; a += 64) {
+    EXPECT_EQ(map.encode(map.decode(a)), a);
+  }
+}
+
+TEST(AddressMap, InvalidConfigsRejected) {
+  HmcConfig cfg;
+  cfg.num_vaults = 33;  // not a power of two
+  EXPECT_FALSE(cfg.valid());
+  cfg = HmcConfig{};
+  cfg.row_bytes = 128;  // smaller than the block
+  EXPECT_FALSE(cfg.valid());
+  cfg = HmcConfig{};
+  cfg.num_links = 3;  // vaults not divisible into quadrants
+  EXPECT_FALSE(cfg.valid());
+}
+
+}  // namespace
+}  // namespace hmcc::hmc

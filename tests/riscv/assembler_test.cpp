@@ -1,0 +1,228 @@
+#include "riscv/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "riscv/cpu.hpp"
+#include "riscv/tracing.hpp"
+
+namespace hmcc::riscv {
+namespace {
+
+/// Assemble + run helper; returns the core after halt.
+struct RunResult {
+  SparseMemory mem;
+  std::uint64_t regs[32];
+  bool halted;
+  std::uint64_t exit_code;
+};
+
+RunResult run_source(const std::string& src,
+                     std::uint64_t max_instr = 1'000'000) {
+  Assembler as;
+  std::string error;
+  auto prog = as.assemble(src, &error);
+  EXPECT_TRUE(prog.has_value()) << error;
+  RunResult r{};
+  if (!prog) return r;
+  prog->load_into(r.mem);
+  Rv64Core cpu(r.mem);
+  cpu.set_pc(prog->symbol("_start").value_or(prog->base));
+  cpu.run(max_instr);
+  for (unsigned i = 0; i < 32; ++i) r.regs[i] = cpu.reg(i);
+  r.halted = cpu.halted();
+  r.exit_code = cpu.exit_code();
+  return r;
+}
+
+TEST(Assembler, SimpleArithmetic) {
+  const auto r = run_source(R"(
+_start:
+    li   a0, 40
+    addi a0, a0, 2
+    ebreak
+)");
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.regs[10], 42u);
+}
+
+TEST(Assembler, LiHandlesLargeConstants) {
+  const auto r = run_source(R"(
+_start:
+    li t0, 0x123456789ABCDEF0
+    li t1, -1
+    li t2, 0x80000000
+    li t3, 4096
+    ebreak
+)");
+  EXPECT_EQ(r.regs[5], 0x123456789ABCDEF0ULL);
+  EXPECT_EQ(r.regs[6], ~0ULL);
+  EXPECT_EQ(r.regs[7], 0x80000000ULL);
+  EXPECT_EQ(r.regs[28], 4096u);
+}
+
+TEST(Assembler, LoopWithLabelsAndBranches) {
+  // Sum 1..100 -> 5050.
+  const auto r = run_source(R"(
+_start:
+    li t0, 0        # acc
+    li t1, 1        # i
+    li t2, 101
+loop:
+    add  t0, t0, t1
+    addi t1, t1, 1
+    bne  t1, t2, loop
+    mv   a0, t0
+    ebreak
+)");
+  EXPECT_EQ(r.regs[10], 5050u);
+}
+
+TEST(Assembler, MemoryOperandsAndData) {
+  const auto r = run_source(R"(
+_start:
+    la   a0, value
+    ld   t0, 0(a0)
+    ld   t1, 8(a0)
+    add  t0, t0, t1
+    sd   t0, 16(a0)
+    ld   a1, 16(a0)
+    ebreak
+    .align 3
+value:
+    .dword 40
+    .dword 2
+    .dword 0
+)");
+  EXPECT_EQ(r.regs[11], 42u);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  const auto r = run_source(R"(
+_start:
+    li   t0, 5
+    neg  t1, t0       # -5
+    not  t2, t0       # ~5
+    seqz t3, zero     # 1
+    snez t4, t0       # 1
+    beqz zero, over
+    li   t5, 99       # skipped
+over:
+    ebreak
+)");
+  EXPECT_EQ(r.regs[6], static_cast<std::uint64_t>(-5));
+  EXPECT_EQ(r.regs[7], ~5ULL);
+  EXPECT_EQ(r.regs[28], 1u);
+  EXPECT_EQ(r.regs[29], 1u);
+  EXPECT_EQ(r.regs[30], 0u);
+}
+
+TEST(Assembler, CallAndRet) {
+  const auto r = run_source(R"(
+_start:
+    li   a0, 20
+    call double_it
+    call double_it
+    ebreak
+double_it:
+    add a0, a0, a0
+    ret
+)");
+  EXPECT_EQ(r.regs[10], 80u);
+}
+
+TEST(Assembler, SwappedBranchPseudos) {
+  const auto r = run_source(R"(
+_start:
+    li t0, 3
+    li t1, 7
+    bgt t1, t0, good      # 7 > 3 taken
+    li a0, 1
+    ebreak
+good:
+    ble t0, t1, good2     # 3 <= 7 taken
+    li a0, 2
+    ebreak
+good2:
+    li a0, 42
+    ebreak
+)");
+  EXPECT_EQ(r.regs[10], 42u);
+}
+
+TEST(Assembler, EcallExit) {
+  const auto r = run_source(R"(
+_start:
+    li a7, 93
+    li a0, 0
+    ecall
+)");
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.exit_code, 0u);
+}
+
+TEST(Assembler, ErrorsAreDiagnosed) {
+  Assembler as;
+  std::string error;
+  EXPECT_FALSE(as.assemble("_start:\n  frobnicate a0, a1\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+
+  EXPECT_FALSE(as.assemble("_start:\n  addi a0, a0, 99999\n", &error));
+  EXPECT_FALSE(as.assemble("_start:\n  j nowhere\n", &error));
+  EXPECT_NE(error.find("nowhere"), std::string::npos);
+  EXPECT_FALSE(as.assemble("_start:\n  addi a0, q9, 1\n", &error));
+}
+
+TEST(Assembler, OrgPlacesCode) {
+  Assembler as;
+  std::string error;
+  auto prog = as.assemble(R"(
+    .org 0x2000
+_start:
+    ebreak
+)", &error);
+  ASSERT_TRUE(prog.has_value()) << error;
+  EXPECT_EQ(prog->base, 0x2000u);
+  EXPECT_EQ(prog->symbol("_start"), Addr{0x2000});
+}
+
+TEST(Assembler, TraceProgramCapturesSpmdStreams) {
+  // Each core strides over its own slice: a0 = core id, a1 = cores.
+  Assembler as;
+  std::string error;
+  auto prog = as.assemble(R"(
+_start:
+    li   t0, 0x40000000   # array base
+    slli t1, a0, 3        # core offset
+    add  t0, t0, t1
+    li   t2, 4            # 4 iterations
+loop:
+    ld   t3, 0(t0)
+    sd   t3, 8(t0)
+    slli t4, a1, 3
+    add  t0, t0, t4
+    addi t2, t2, -1
+    bnez t2, loop
+    fence
+    li a7, 93
+    li a0, 0
+    ecall
+)", &error);
+  ASSERT_TRUE(prog.has_value()) << error;
+  const auto result = trace_program(*prog, 3);
+  EXPECT_TRUE(result.all_exited_cleanly);
+  ASSERT_EQ(result.trace.per_core.size(), 3u);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    const auto& stream = result.trace.per_core[c];
+    // 4 loads + 4 stores + 1 fence.
+    ASSERT_EQ(stream.size(), 9u);
+    EXPECT_EQ(stream[0].addr, 0x40000000u + c * 8);
+    EXPECT_EQ(stream[0].type, ReqType::kLoad);
+    EXPECT_EQ(stream[1].addr, 0x40000008u + c * 8);
+    EXPECT_EQ(stream[1].type, ReqType::kStore);
+    EXPECT_TRUE(stream[8].fence);
+  }
+}
+
+}  // namespace
+}  // namespace hmcc::riscv

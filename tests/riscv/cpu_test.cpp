@@ -1,0 +1,200 @@
+#include "riscv/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "riscv/isa.hpp"
+
+namespace hmcc::riscv {
+namespace {
+
+/// Helper: write encoded instructions at 0x1000 and run.
+class CpuFixture : public ::testing::Test {
+ protected:
+  void load(std::initializer_list<Instruction> program) {
+    Addr a = 0x1000;
+    for (const Instruction& i : program) {
+      const std::uint32_t w = encode(i);
+      mem.write(a, w, 4);
+      a += 4;
+    }
+    cpu.set_pc(0x1000);
+  }
+  static Instruction mk(Op op, unsigned rd, unsigned rs1, unsigned rs2,
+                        std::int64_t imm = 0) {
+    Instruction i{};
+    i.op = op;
+    i.rd = static_cast<std::uint8_t>(rd);
+    i.rs1 = static_cast<std::uint8_t>(rs1);
+    i.rs2 = static_cast<std::uint8_t>(rs2);
+    i.imm = imm;
+    return i;
+  }
+
+  SparseMemory mem;
+  Rv64Core cpu{mem};
+};
+
+TEST_F(CpuFixture, ArithmeticBasics) {
+  load({
+      mk(Op::kAddi, 5, 0, 0, 40),    // t0 = 40
+      mk(Op::kAddi, 6, 5, 0, 2),     // t1 = 42
+      mk(Op::kSub, 7, 6, 5),         // t2 = 2
+      mk(Op::kMul, 28, 5, 6),        // t3 = 1680
+      mk(Op::kEbreak, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(5), 40u);
+  EXPECT_EQ(cpu.reg(6), 42u);
+  EXPECT_EQ(cpu.reg(7), 2u);
+  EXPECT_EQ(cpu.reg(28), 1680u);
+  EXPECT_TRUE(cpu.halted());
+}
+
+TEST_F(CpuFixture, X0IsAlwaysZero) {
+  load({
+      mk(Op::kAddi, 0, 0, 0, 123),
+      mk(Op::kEbreak, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(0), 0u);
+}
+
+TEST_F(CpuFixture, LoadStoreRoundTripAndSignExtension) {
+  load({
+      mk(Op::kAddi, 5, 0, 0, -1),          // t0 = -1
+      mk(Op::kSw, 0, 10, 5, 0),            // [a0] = 0xFFFFFFFF
+      mk(Op::kLw, 6, 10, 0, 0),            // t1 = sext 32
+      mk(Op::kLwu, 7, 10, 0, 0),           // t2 = zext 32
+      mk(Op::kLb, 28, 10, 0, 0),           // t3 = sext 8
+      mk(Op::kLbu, 29, 10, 0, 0),          // t4 = zext 8
+      mk(Op::kEbreak, 0, 0, 0),
+  });
+  cpu.set_reg(10, 0x4000);
+  cpu.run();
+  EXPECT_EQ(cpu.reg(6), ~0ULL);
+  EXPECT_EQ(cpu.reg(7), 0xFFFFFFFFULL);
+  EXPECT_EQ(cpu.reg(28), ~0ULL);
+  EXPECT_EQ(cpu.reg(29), 0xFFULL);
+}
+
+TEST_F(CpuFixture, BranchesAndLoop) {
+  // for (t0 = 0; t0 != 10; ++t0) t1 += t0;  => t1 = 45
+  load({
+      mk(Op::kAddi, 5, 0, 0, 0),    // 0x1000 t0 = 0
+      mk(Op::kAddi, 6, 0, 0, 0),    // 0x1004 t1 = 0
+      mk(Op::kAddi, 7, 0, 0, 10),   // 0x1008 t2 = 10
+      mk(Op::kBeq, 0, 5, 7, 16),    // 0x100C if t0==t2 -> 0x101C
+      mk(Op::kAdd, 6, 6, 5),        // 0x1010
+      mk(Op::kAddi, 5, 5, 0, 1),    // 0x1014
+      mk(Op::kJal, 0, 0, 0, -12),   // 0x1018 -> 0x100C
+      mk(Op::kEbreak, 0, 0, 0),     // 0x101C
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(6), 45u);
+  EXPECT_TRUE(cpu.halted());
+}
+
+TEST_F(CpuFixture, JalLinksAndJalrReturns) {
+  load({
+      mk(Op::kJal, 1, 0, 0, 12),     // 0x1000 call 0x100C, ra = 0x1004
+      mk(Op::kAddi, 5, 5, 0, 1),     // 0x1004 t0 += 1 (after return)
+      mk(Op::kEbreak, 0, 0, 0),      // 0x1008
+      mk(Op::kAddi, 5, 0, 0, 41),    // 0x100C t0 = 41
+      mk(Op::kJalr, 0, 1, 0, 0),     // 0x1010 ret
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(5), 42u);
+}
+
+TEST_F(CpuFixture, WordOpsSignExtend) {
+  load({
+      mk(Op::kAddi, 5, 0, 0, 1),
+      mk(Op::kSlli, 5, 5, 0, 31),   // t0 = 0x80000000
+      mk(Op::kAddiw, 6, 5, 0, 0),   // t1 = sext32 -> 0xFFFFFFFF80000000
+      mk(Op::kAddw, 7, 5, 5),       // t2 = sext32(0x100000000) = 0
+      mk(Op::kSraiw, 28, 5, 0, 31), // t3 = -1
+      mk(Op::kEbreak, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(6), 0xFFFFFFFF80000000ULL);
+  EXPECT_EQ(cpu.reg(7), 0u);
+  EXPECT_EQ(cpu.reg(28), ~0ULL);
+}
+
+TEST_F(CpuFixture, DivisionEdgeCases) {
+  load({
+      mk(Op::kAddi, 5, 0, 0, 7),
+      mk(Op::kAddi, 6, 0, 0, 0),
+      mk(Op::kDiv, 7, 5, 6),    // div by zero -> -1
+      mk(Op::kRem, 28, 5, 6),   // rem by zero -> rs1
+      mk(Op::kDivu, 29, 5, 6),  // -> all ones
+      mk(Op::kEbreak, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(7), ~0ULL);
+  EXPECT_EQ(cpu.reg(28), 7u);
+  EXPECT_EQ(cpu.reg(29), ~0ULL);
+}
+
+TEST_F(CpuFixture, MulhVariants) {
+  load({
+      mk(Op::kAddi, 5, 0, 0, -1),   // t0 = -1
+      mk(Op::kAddi, 6, 0, 0, 2),    // t1 = 2
+      mk(Op::kMulh, 7, 5, 6),       // hi(-1 * 2) = -1
+      mk(Op::kMulhu, 28, 5, 6),     // hi(2^64-1 times 2) = 1
+      mk(Op::kEbreak, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(7), ~0ULL);
+  EXPECT_EQ(cpu.reg(28), 1u);
+}
+
+TEST_F(CpuFixture, EcallExit93Halts) {
+  load({
+      mk(Op::kAddi, 17, 0, 0, 93),  // a7 = exit
+      mk(Op::kAddi, 10, 0, 0, 5),   // a0 = 5
+      mk(Op::kEcall, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.exit_code(), 5u);
+}
+
+TEST_F(CpuFixture, TraceHookSeesAccessesAndFences) {
+  std::vector<std::tuple<Addr, std::uint32_t, bool, bool>> events;
+  cpu.set_trace_hook([&](Addr a, std::uint32_t n, bool st, bool fence) {
+    events.emplace_back(a, n, st, fence);
+  });
+  load({
+      mk(Op::kSd, 0, 10, 5, 8),     // store 8B at a0+8
+      mk(Op::kLw, 6, 10, 0, 8),     // load 4B at a0+8
+      mk(Op::kFence, 0, 0, 0),
+      mk(Op::kEbreak, 0, 0, 0),
+  });
+  cpu.set_reg(10, 0x8000);
+  cpu.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], std::make_tuple(Addr{0x8008}, 8u, true, false));
+  EXPECT_EQ(events[1], std::make_tuple(Addr{0x8008}, 4u, false, false));
+  EXPECT_TRUE(std::get<3>(events[2]));
+}
+
+TEST_F(CpuFixture, InvalidInstructionFaults) {
+  mem.write(0x1000, 0, 4);
+  cpu.set_pc(0x1000);
+  EXPECT_FALSE(cpu.step());
+  EXPECT_FALSE(cpu.halted());  // fault, not a clean halt
+}
+
+TEST_F(CpuFixture, RunRespectsInstructionBudget) {
+  // Infinite loop.
+  load({mk(Op::kJal, 0, 0, 0, 0)});
+  const std::uint64_t ran = cpu.run(1000);
+  EXPECT_EQ(ran, 1000u);
+  EXPECT_FALSE(cpu.halted());
+}
+
+}  // namespace
+}  // namespace hmcc::riscv

@@ -1,0 +1,84 @@
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hmcc {
+namespace {
+
+TEST(Kernel, RunsEventsInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(30, [&] { order.push_back(3); });
+  k.schedule_at(10, [&] { order.push_back(1); });
+  k.schedule_at(20, [&] { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), 30u);
+}
+
+TEST(Kernel, SameCycleFifoOrder) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    k.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Kernel, EventsScheduleMoreEvents) {
+  Kernel k;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) k.schedule(5, chain);
+  };
+  k.schedule_at(0, chain);
+  k.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(k.now(), 45u);
+}
+
+TEST(Kernel, RunUntilLeavesLaterEvents) {
+  Kernel k;
+  int fired = 0;
+  k.schedule_at(10, [&] { ++fired; });
+  k.schedule_at(100, [&] { ++fired; });
+  EXPECT_TRUE(k.run_until(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.now(), 50u);
+  EXPECT_FALSE(k.run_until(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, ZeroDelayRunsLaterSameCycle) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(5, [&] {
+    order.push_back(1);
+    k.schedule(0, [&] { order.push_back(2); });
+  });
+  k.schedule_at(5, [&] { order.push_back(3); });
+  k.run();
+  // The zero-delay event was scheduled after event "3" existed, so it fires
+  // after it within the same cycle.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(k.now(), 5u);
+}
+
+TEST(Kernel, StepAndCounters) {
+  Kernel k;
+  k.schedule_at(1, [] {});
+  k.schedule_at(2, [] {});
+  EXPECT_EQ(k.pending(), 2u);
+  EXPECT_TRUE(k.step());
+  EXPECT_EQ(k.pending(), 1u);
+  EXPECT_TRUE(k.step());
+  EXPECT_FALSE(k.step());
+  EXPECT_EQ(k.events_fired(), 2u);
+}
+
+}  // namespace
+}  // namespace hmcc

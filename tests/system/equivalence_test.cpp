@@ -1,0 +1,145 @@
+// Functional-equivalence properties across memory-path configurations.
+//
+// The coalescer must be architecturally invisible: for any trace, every
+// datapath mode (none / conventional / dmc-only / two-phase, any pipeline
+// shape, any window) must complete the same set of accesses, drain fully,
+// and observe the same cache-side behaviour. Only the memory-side traffic
+// and timing may differ — and only in the coalescer's favour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "system/runner.hpp"
+
+namespace hmcc::system {
+namespace {
+
+trace::MultiTrace random_trace(std::uint64_t seed, std::uint32_t cores,
+                               std::uint64_t records) {
+  Xoshiro256 rng(seed);
+  trace::MultiTrace mt;
+  mt.per_core.resize(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    for (std::uint64_t i = 0; i < records; ++i) {
+      const double roll = rng.uniform();
+      if (roll < 0.015) {
+        mt.per_core[c].push_back(trace::TraceRecord::make_fence());
+        continue;
+      }
+      // A blend of sequential, strided and random accesses, some spanning
+      // lines, some shared across cores.
+      Addr addr;
+      if (roll < 0.4) {
+        addr = (1ULL << 30) + (i * cores + c) * 64;  // cyclic-sequential
+      } else if (roll < 0.7) {
+        addr = (1ULL << 31) + rng.below(1 << 18) * 8;  // shared random
+      } else {
+        addr = (1ULL << 32) + rng.below(1 << 14) * 4096 + rng.below(64);
+      }
+      const auto size = static_cast<std::uint32_t>(1u << rng.below(4));
+      if (rng.chance(0.3)) {
+        mt.per_core[c].push_back(trace::TraceRecord::store(addr, size));
+      } else {
+        mt.per_core[c].push_back(trace::TraceRecord::load(addr, size));
+      }
+      if (i % 97 == 96) {
+        mt.per_core[c].push_back(trace::TraceRecord::make_barrier());
+      }
+    }
+  }
+  return mt;
+}
+
+SystemConfig mode_cfg(CoalescerMode mode, std::uint32_t cores,
+                      std::uint32_t window = 16) {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = cores;
+  cfg.coalescer.window = window;
+  apply_mode(cfg, mode);
+  return cfg;
+}
+
+TEST(Equivalence, AllModesCompleteIdenticalWork) {
+  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    const auto mt = random_trace(seed, 4, 1500);
+    SystemReport ref{};
+    bool have_ref = false;
+    for (const auto mode :
+         {CoalescerMode::kNone, CoalescerMode::kConventional,
+          CoalescerMode::kDmcOnly, CoalescerMode::kFull}) {
+      System sys(mode_cfg(mode, 4));
+      const SystemReport rep = sys.run(mt);
+      ASSERT_TRUE(rep.drained) << to_string(mode) << " seed " << seed;
+      if (!have_ref) {
+        ref = rep;
+        have_ref = true;
+        continue;
+      }
+      // The same program work completes in every mode.
+      EXPECT_EQ(rep.cpu_accesses, ref.cpu_accesses) << to_string(mode);
+      // The LLC miss count may wobble by a handful of accesses: fills land
+      // at response time, so a racing second access to an in-flight line
+      // hits or misses depending on memory timing. Anything beyond a
+      // fraction of a percent would indicate lost or duplicated work.
+      const double miss_delta =
+          std::abs(static_cast<double>(rep.llc_misses) -
+                   static_cast<double>(ref.llc_misses));
+      EXPECT_LT(miss_delta, 0.005 * static_cast<double>(ref.llc_misses))
+          << to_string(mode);
+      // Memory-side traffic may only shrink relative to the no-merge mode
+      // (modulo the same fill-timing wobble).
+      EXPECT_LE(rep.memory_requests, ref.memory_requests + 16)
+          << to_string(mode);
+      // Every HMC transaction's payload is accounted on the wire.
+      EXPECT_GE(rep.hmc.transferred_bytes, rep.hmc.payload_bytes);
+    }
+  }
+}
+
+TEST(Equivalence, PipelineShapeIsFunctionallyInvisible) {
+  const auto mt = random_trace(5, 4, 1200);
+  SystemConfig per_stage = mode_cfg(CoalescerMode::kFull, 4);
+  per_stage.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStage;
+  SystemConfig per_step = mode_cfg(CoalescerMode::kFull, 4);
+  per_step.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStep;
+
+  System a(per_stage);
+  System b(per_step);
+  const auto ra = a.run(mt);
+  const auto rb = b.run(mt);
+  EXPECT_TRUE(ra.drained);
+  EXPECT_TRUE(rb.drained);
+  EXPECT_EQ(ra.cpu_accesses, rb.cpu_accesses);
+  // Same fill-timing wobble tolerance as above.
+  const double delta = std::abs(static_cast<double>(ra.llc_misses) -
+                                static_cast<double>(rb.llc_misses));
+  EXPECT_LT(delta, 0.005 * static_cast<double>(ra.llc_misses));
+}
+
+TEST(Equivalence, WindowSizeChangesTrafficNotWork) {
+  const auto mt = random_trace(9, 4, 1200);
+  std::uint64_t accesses = 0;
+  for (const std::uint32_t window : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    System sys(mode_cfg(CoalescerMode::kFull, 4, window));
+    const auto rep = sys.run(mt);
+    ASSERT_TRUE(rep.drained) << "window " << window;
+    if (accesses == 0) {
+      accesses = rep.cpu_accesses;
+    } else {
+      EXPECT_EQ(rep.cpu_accesses, accesses) << "window " << window;
+    }
+  }
+}
+
+TEST(Equivalence, StressManySeedsStayDrained) {
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    System sys(mode_cfg(CoalescerMode::kFull, 3));
+    const auto rep = sys.run(random_trace(seed, 3, 700));
+    ASSERT_TRUE(rep.drained) << seed;
+    EXPECT_EQ(rep.coalescer.raw_requests, rep.llc_misses + rep.writebacks);
+  }
+}
+
+}  // namespace
+}  // namespace hmcc::system

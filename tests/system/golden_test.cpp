@@ -1,0 +1,119 @@
+// Golden regression guards: the reproduced figure SHAPES must not silently
+// drift as the simulator evolves. Bounds are intentionally loose (they
+// encode orderings and coarse magnitudes, not exact values) but tight
+// enough to catch a broken coalescer, a mis-wired mode, or a workload
+// generator losing its access pattern.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "system/runner.hpp"
+
+namespace hmcc::system {
+namespace {
+
+struct ModeResults {
+  double conventional = 0;
+  double dmc_only = 0;
+  double full = 0;
+  double mem_speedup = 1;
+};
+
+const std::map<std::string, ModeResults>& results() {
+  static const auto* cache = [] {
+    auto* out = new std::map<std::string, ModeResults>();
+    workloads::WorkloadParams params;
+    params.accesses_per_core = 6000;
+    params.seed = 1;
+    for (const std::string& name : workloads::workload_names()) {
+      ModeResults r;
+      SystemConfig conv = paper_system_config();
+      apply_mode(conv, CoalescerMode::kConventional);
+      const auto rc = run_workload(name, conv, params);
+      r.conventional = rc.report.coalescing_efficiency();
+
+      SystemConfig dmc = paper_system_config();
+      apply_mode(dmc, CoalescerMode::kDmcOnly);
+      r.dmc_only =
+          run_workload(name, dmc, params).report.coalescing_efficiency();
+
+      SystemConfig full = paper_system_config();
+      apply_mode(full, CoalescerMode::kFull);
+      const auto rf = run_workload(name, full, params);
+      r.full = rf.report.coalescing_efficiency();
+      r.mem_speedup = rf.report.runtime
+                          ? static_cast<double>(rc.report.runtime) /
+                                static_cast<double>(rf.report.runtime)
+                          : 1.0;
+      (*out)[name] = r;
+    }
+    return out;
+  }();
+  return *cache;
+}
+
+TEST(Golden, TwoPhaseBeatsPartialConfigsOnAverage) {
+  double conv = 0;
+  double dmc = 0;
+  double full = 0;
+  for (const auto& [name, r] : results()) {
+    conv += r.conventional;
+    dmc += r.dmc_only;
+    full += r.full;
+  }
+  const double n = static_cast<double>(results().size());
+  EXPECT_GT(full / n, dmc / n);
+  EXPECT_GT(dmc / n, conv / n);
+  // Paper: 47.47% two-phase average; ours must stay in the same regime.
+  EXPECT_GT(full / n, 0.25);
+  EXPECT_LT(full / n, 0.60);
+}
+
+TEST(Golden, FtIsTheBestCoalescingCase) {
+  const auto& r = results();
+  const double ft = r.at("ft").full;
+  EXPECT_GT(ft, 0.55);  // paper: 75.52% on full-size traces
+  for (const auto& [name, res] : r) {
+    if (name == "ft") continue;
+    EXPECT_LE(res.full, ft + 0.05) << name;
+  }
+}
+
+TEST(Golden, EpIsTheWorstCoalescingCase) {
+  const auto& r = results();
+  const double ep = r.at("ep").full;
+  EXPECT_LT(ep, 0.05);
+  for (const auto& [name, res] : r) {
+    EXPECT_GE(res.full + 1e-9, ep) << name;
+  }
+}
+
+TEST(Golden, StreamingSuiteCoalescesWell) {
+  const auto& r = results();
+  for (const char* name : {"stream", "sparselu", "ft", "lu"}) {
+    EXPECT_GT(r.at(name).full, 0.40) << name;
+  }
+}
+
+TEST(Golden, GatherSuiteCoalescesPoorly) {
+  const auto& r = results();
+  for (const char* name : {"cg", "ep", "is"}) {
+    EXPECT_LT(r.at(name).full, 0.25) << name;
+  }
+}
+
+TEST(Golden, MemoryPhaseSpeedupsLandInPaperRegime) {
+  const auto& r = results();
+  // FT and SparseLU are the paper's headline winners.
+  EXPECT_GT(r.at("ft").mem_speedup, 2.5);
+  EXPECT_GT(r.at("sparselu").mem_speedup, 2.5);
+  // EP must be a wash.
+  EXPECT_LT(r.at("ep").mem_speedup, 1.05);
+  // Nothing may get SLOWER with the coalescer.
+  for (const auto& [name, res] : r) {
+    EXPECT_GT(res.mem_speedup, 0.97) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hmcc::system

@@ -1,0 +1,123 @@
+// §3.2.3 scaling: "Scaling this approach would require extending the size
+// and line ID segment to support the possible larger request packets in the
+// future HMC generations." These tests exercise the coalescer with a
+// hypothetical 512 B-block HMC (3-bit size/line-ID equivalents) and other
+// off-default platform shapes.
+#include <gtest/gtest.h>
+
+#include "system/runner.hpp"
+
+namespace hmcc::system {
+namespace {
+
+workloads::WorkloadParams tiny_params() {
+  workloads::WorkloadParams p;
+  p.accesses_per_core = 2000;
+  p.seed = 5;
+  return p;
+}
+
+trace::MultiTrace dense_trace(std::uint32_t cores, std::uint64_t lines) {
+  trace::MultiTrace mt;
+  mt.per_core.resize(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      mt.per_core[c].push_back(trace::TraceRecord::load(
+          (i * cores + c) * 64 + (1ULL << 30), 8));
+      if (i % 64 == 63) {
+        mt.per_core[c].push_back(trace::TraceRecord::make_barrier());
+      }
+    }
+  }
+  return mt;
+}
+
+TEST(Scaling, FutureHmcWith512ByteBlocks) {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = 4;
+  cfg.hmc.block_bytes = 512;
+  cfg.coalescer.max_packet_bytes = 256;  // commands still cap at 256 B
+  ASSERT_TRUE(cfg.hmc.valid());
+  apply_mode(cfg, CoalescerMode::kFull);
+  System sys(cfg);
+  const auto rep = sys.run(dense_trace(4, 1000));
+  EXPECT_EQ(rep.cpu_accesses, 4000u);
+  EXPECT_GT(rep.coalescing_efficiency(), 0.2);
+}
+
+TEST(Scaling, EightLinePacketsWhenCommandsAllow) {
+  // A hypothetical future generation with 512 B max packets: the dynamic
+  // MSHR line-ID field grows to 3 bits; our implementation is generic.
+  coalescer::CoalescerConfig ccfg;
+  ccfg.max_packet_bytes = 512;
+  coalescer::DmcUnit dmc(ccfg);
+  std::vector<coalescer::CoalescerRequest> batch;
+  for (int i = 0; i < 8; ++i) {
+    coalescer::CoalescerRequest r{};
+    r.addr = 0x2000 + 64u * static_cast<Addr>(i);
+    r.payload_bytes = 8;
+    r.token = static_cast<std::uint64_t>(i);
+    batch.push_back(r);
+  }
+  const auto res = dmc.coalesce(batch, 0);
+  ASSERT_EQ(res.packets.size(), 1u);
+  EXPECT_EQ(res.packets[0].bytes, 512u);
+
+  coalescer::DynamicMshrFile mshrs(ccfg);
+  const auto ins = mshrs.try_insert(res.packets[0]);
+  ASSERT_TRUE(ins.accepted);
+  ASSERT_EQ(ins.to_issue.size(), 1u);
+  const auto fill = mshrs.on_fill(ins.to_issue[0].id);
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->targets.size(), 8u);  // 3-bit line IDs round-trip
+}
+
+TEST(Scaling, WiderWindowStillCorrect) {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = 4;
+  cfg.coalescer.window = 32;
+  apply_mode(cfg, CoalescerMode::kFull);
+  System sys(cfg);
+  const auto rep = sys.run(dense_trace(4, 1000));
+  EXPECT_EQ(rep.llc_misses, 4000u);
+  EXPECT_GT(rep.coalescing_efficiency(), 0.2);
+}
+
+TEST(Scaling, MoreMshrsMoreThroughput) {
+  SystemConfig a = paper_system_config();
+  a.hierarchy.num_cores = 4;
+  a.hierarchy.llc_mshrs = 4;
+  apply_mode(a, CoalescerMode::kFull);
+  System sys_a(a);
+  const auto small = sys_a.run(dense_trace(4, 2000));
+
+  SystemConfig b = paper_system_config();
+  b.hierarchy.num_cores = 4;
+  b.hierarchy.llc_mshrs = 32;
+  apply_mode(b, CoalescerMode::kFull);
+  System sys_b(b);
+  const auto big = sys_b.run(dense_trace(4, 2000));
+  EXPECT_LT(big.runtime, small.runtime);
+}
+
+TEST(Scaling, SingleCoreSystemWorks) {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = 1;
+  apply_mode(cfg, CoalescerMode::kFull);
+  const auto r = run_workload("stream", cfg, tiny_params());
+  EXPECT_GT(r.report.cpu_accesses, 0u);
+  EXPECT_GT(r.report.runtime, 0u);
+}
+
+TEST(Scaling, OpenPagePolicyRuns) {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = 4;
+  cfg.hmc.closed_page = false;
+  apply_mode(cfg, CoalescerMode::kFull);
+  System sys(cfg);
+  const auto rep = sys.run(dense_trace(4, 1000));
+  EXPECT_GT(rep.hmc.row_hits, 0u);
+}
+
+}  // namespace
+}  // namespace hmcc::system

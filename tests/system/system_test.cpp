@@ -1,0 +1,231 @@
+#include "system/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "system/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace hmcc::system {
+namespace {
+
+workloads::WorkloadParams tiny_params() {
+  workloads::WorkloadParams p;
+  p.accesses_per_core = 2000;
+  p.seed = 3;
+  return p;
+}
+
+SystemConfig small_system(CoalescerMode mode) {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = 4;
+  apply_mode(cfg, mode);
+  return cfg;
+}
+
+trace::MultiTrace sequential_trace(std::uint32_t cores, std::uint64_t lines) {
+  trace::MultiTrace mt;
+  mt.per_core.resize(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      const Addr line = (i * cores + c) * 64 + (1ULL << 30);
+      mt.per_core[c].push_back(trace::TraceRecord::load(line, 8));
+      // Parallel-loop joins keep the cores' cyclic chunks aligned.
+      if (i % 64 == 63) {
+        mt.per_core[c].push_back(trace::TraceRecord::make_barrier());
+      }
+    }
+  }
+  return mt;
+}
+
+TEST(System, AllAccessesComplete) {
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  System sys(cfg);
+  const auto mt = sequential_trace(4, 500);
+  const SystemReport rep = sys.run(mt);
+  EXPECT_EQ(rep.cpu_accesses, 4u * 500u);
+  EXPECT_EQ(rep.llc_misses, 4u * 500u);  // one cold miss per distinct line
+  EXPECT_GT(rep.runtime, 0u);
+  EXPECT_EQ(rep.memory_requests + 0u, rep.coalescer.memory_requests);
+}
+
+TEST(System, CoalescedNeverIssuesMoreThanRaw) {
+  for (const std::string& name : {std::string("stream"), std::string("sg"),
+                                  std::string("hpcg")}) {
+    const auto base =
+        run_workload(name, small_system(CoalescerMode::kNone), tiny_params());
+    const auto coal =
+        run_workload(name, small_system(CoalescerMode::kFull), tiny_params());
+    EXPECT_LE(coal.report.memory_requests, base.report.memory_requests)
+        << name;
+    // The cache side is independent of the memory path: identical miss
+    // streams.
+    EXPECT_EQ(coal.report.llc_misses, base.report.llc_misses) << name;
+    EXPECT_EQ(coal.report.cpu_accesses, base.report.cpu_accesses) << name;
+  }
+}
+
+TEST(System, CoalescerWinsOnSequentialTraffic) {
+  System base(small_system(CoalescerMode::kConventional));
+  System coal(small_system(CoalescerMode::kFull));
+  const auto mt = sequential_trace(4, 2000);
+  const auto rb = base.run(mt);
+  const auto rc = coal.run(mt);
+  EXPECT_LT(rc.memory_requests, rb.memory_requests);
+  EXPECT_LT(rc.runtime, rb.runtime);
+  EXPECT_GT(rc.coalescing_efficiency(), 0.25);
+  EXPECT_LT(rc.hmc.transferred_bytes, rb.hmc.transferred_bytes);
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  const auto a =
+      run_workload("sg", small_system(CoalescerMode::kFull), tiny_params());
+  const auto b =
+      run_workload("sg", small_system(CoalescerMode::kFull), tiny_params());
+  EXPECT_EQ(a.report.runtime, b.report.runtime);
+  EXPECT_EQ(a.report.memory_requests, b.report.memory_requests);
+  EXPECT_EQ(a.report.hmc.transferred_bytes, b.report.hmc.transferred_bytes);
+}
+
+TEST(System, BarriersSynchronizeCores) {
+  // Core 0 has lots of work before its barrier; core 1 almost none. The
+  // post-barrier access of core 1 must not complete before core 0 arrives.
+  trace::MultiTrace mt;
+  mt.per_core.resize(2);
+  for (int i = 0; i < 200; ++i) {
+    mt.per_core[0].push_back(
+        trace::TraceRecord::load((1ULL << 30) + 64ULL * static_cast<Addr>(i), 8));
+  }
+  mt.per_core[0].push_back(trace::TraceRecord::make_barrier());
+  mt.per_core[1].push_back(trace::TraceRecord::load(1ULL << 31, 8));
+  mt.per_core[1].push_back(trace::TraceRecord::make_barrier());
+  mt.per_core[1].push_back(trace::TraceRecord::load((1ULL << 31) + 4096, 8));
+
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  cfg.hierarchy.num_cores = 2;
+  System sys(cfg);
+  const auto rep = sys.run(mt);
+  EXPECT_EQ(rep.cpu_accesses, 202u);
+  // Runtime must cover core 0's long pre-barrier phase.
+  EXPECT_GT(rep.runtime, 1000u);
+}
+
+TEST(System, BarrierWithFinishedCoresReleases) {
+  trace::MultiTrace mt;
+  mt.per_core.resize(3);
+  mt.per_core[0].push_back(trace::TraceRecord::load(1ULL << 30, 8));
+  // Core 1 finishes before core 2 even reaches its barrier.
+  mt.per_core[1].push_back(trace::TraceRecord::load((1ULL << 30) + 64, 8));
+  for (int i = 0; i < 50; ++i) {
+    mt.per_core[2].push_back(
+        trace::TraceRecord::load((1ULL << 30) + 4096 + 64ULL * static_cast<Addr>(i), 8));
+  }
+  mt.per_core[2].push_back(trace::TraceRecord::make_barrier());
+  mt.per_core[2].push_back(trace::TraceRecord::load(1ULL << 31, 8));
+
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  cfg.hierarchy.num_cores = 3;
+  System sys(cfg);
+  const auto rep = sys.run(mt);  // must not deadlock
+  EXPECT_EQ(rep.cpu_accesses, 53u);
+}
+
+TEST(System, FencesDrainWithoutDeadlock) {
+  trace::MultiTrace mt;
+  mt.per_core.resize(2);
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      mt.per_core[c].push_back(trace::TraceRecord::load(
+          (1ULL << 30) + 64ULL * static_cast<Addr>(i * 2 + c), 8));
+    }
+    mt.per_core[c].push_back(trace::TraceRecord::make_fence());
+    for (int i = 0; i < 20; ++i) {
+      mt.per_core[c].push_back(trace::TraceRecord::store(
+          (1ULL << 31) + 64ULL * static_cast<Addr>(i * 2 + c), 8));
+    }
+  }
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  cfg.hierarchy.num_cores = 2;
+  System sys(cfg);
+  const auto rep = sys.run(mt);
+  EXPECT_EQ(rep.cpu_accesses, 80u);
+  EXPECT_EQ(rep.coalescer.fences, 2u);
+}
+
+TEST(System, SpanningAccessSplitsAcrossLines) {
+  trace::MultiTrace mt;
+  mt.per_core.resize(1);
+  // 8-byte access straddling a line boundary -> two hierarchy accesses.
+  mt.per_core[0].push_back(
+      trace::TraceRecord::load((1ULL << 30) + 60, 8));
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  cfg.hierarchy.num_cores = 1;
+  System sys(cfg);
+  const auto rep = sys.run(mt);
+  EXPECT_EQ(rep.cpu_accesses, 2u);
+  EXPECT_EQ(rep.llc_misses, 2u);
+}
+
+TEST(System, WritebacksEventuallyAppear) {
+  // Stores over a working set far larger than the LLC must produce dirty
+  // evictions to memory.
+  trace::MultiTrace mt;
+  mt.per_core.resize(1);
+  for (std::uint64_t i = 0; i < 80000; ++i) {
+    mt.per_core[0].push_back(
+        trace::TraceRecord::store((1ULL << 30) + i * 64, 8));
+  }
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  cfg.hierarchy.num_cores = 1;
+  System sys(cfg);
+  const auto rep = sys.run(mt);
+  EXPECT_GT(rep.writebacks, 1000u);
+}
+
+TEST(System, ModesCoverFigure8Ordering) {
+  // two-phase >= dmc-only and >= conventional on a coalescing-friendly mix.
+  const auto conv = run_workload(
+      "stream", small_system(CoalescerMode::kConventional), tiny_params());
+  const auto dmc = run_workload(
+      "stream", small_system(CoalescerMode::kDmcOnly), tiny_params());
+  const auto full = run_workload(
+      "stream", small_system(CoalescerMode::kFull), tiny_params());
+  EXPECT_GE(full.report.coalescing_efficiency(),
+            dmc.report.coalescing_efficiency() - 0.02);
+  EXPECT_GE(dmc.report.coalescing_efficiency(),
+            conv.report.coalescing_efficiency());
+}
+
+TEST(System, ReportMetricsAreSane) {
+  const auto r =
+      run_workload("ft", small_system(CoalescerMode::kFull), tiny_params());
+  const auto& rep = r.report;
+  EXPECT_GE(rep.coalescing_efficiency(), 0.0);
+  EXPECT_LE(rep.coalescing_efficiency(), 1.0);
+  EXPECT_GT(rep.payload_bandwidth_efficiency(), 0.0);
+  EXPECT_LE(rep.payload_bandwidth_efficiency(), 1.0);
+  EXPECT_GT(rep.runtime_seconds(), 0.0);
+  EXPECT_EQ(rep.hmc.reads + rep.hmc.writes, rep.memory_requests);
+  EXPECT_GE(rep.hmc.transferred_bytes,
+            rep.hmc.payload_bytes + rep.memory_requests * 32);
+}
+
+TEST(System, MissHookSeesEveryPostLlcRequest) {
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  System sys(cfg);
+  std::uint64_t hooked = 0;
+  sys.set_miss_hook(
+      [&hooked](const coalescer::CoalescerRequest&, std::uint32_t) {
+        ++hooked;
+      });
+  const auto rep = sys.run(sequential_trace(4, 300));
+  EXPECT_EQ(hooked, rep.llc_misses + rep.writebacks);
+}
+
+TEST(Runner, UnknownWorkloadThrows) {
+  EXPECT_THROW(run_workload("bogus", paper_system_config(), tiny_params()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmcc::system

@@ -1,0 +1,88 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hmcc::trace {
+namespace {
+
+TEST(TraceRecord, Factories) {
+  const TraceRecord l = TraceRecord::load(0x100, 4);
+  EXPECT_EQ(l.type, ReqType::kLoad);
+  EXPECT_EQ(l.size, 4u);
+  EXPECT_FALSE(l.fence);
+  EXPECT_FALSE(l.barrier);
+
+  const TraceRecord s = TraceRecord::store(0x200, 8);
+  EXPECT_EQ(s.type, ReqType::kStore);
+
+  EXPECT_TRUE(TraceRecord::make_fence().fence);
+  EXPECT_TRUE(TraceRecord::make_barrier().barrier);
+}
+
+TEST(TraceProfile, CountsAndFootprint) {
+  MultiTrace mt;
+  mt.per_core.resize(2);
+  mt.per_core[0] = {TraceRecord::load(0, 8), TraceRecord::load(8, 8),
+                    TraceRecord::store(64, 8), TraceRecord::make_fence()};
+  mt.per_core[1] = {TraceRecord::load(128, 4), TraceRecord::make_barrier()};
+  const TraceProfile p = profile(mt);
+  EXPECT_EQ(p.records, 6u);
+  EXPECT_EQ(p.loads, 3u);
+  EXPECT_EQ(p.stores, 1u);
+  EXPECT_EQ(p.fences, 1u);
+  EXPECT_EQ(p.barriers, 1u);
+  EXPECT_EQ(p.bytes, 28u);
+  EXPECT_EQ(p.distinct_lines, 3u);  // lines 0, 64, 128
+  // One access (addr 8) directly follows its predecessor's end.
+  EXPECT_NEAR(p.sequential_fraction, 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(p.store_fraction(), 0.25);
+}
+
+TEST(TraceIo, SaveLoadRoundTrip) {
+  MultiTrace mt;
+  mt.per_core.resize(3);
+  mt.per_core[0] = {TraceRecord::load(0xDEADBEEF, 8),
+                    TraceRecord::store(0x1234, 2),
+                    TraceRecord::make_fence()};
+  mt.per_core[1] = {};
+  mt.per_core[2] = {TraceRecord::make_barrier(),
+                    TraceRecord::load(42, 1)};
+
+  const std::string path = ::testing::TempDir() + "/hmcc_trace_test.bin";
+  ASSERT_TRUE(save(mt, path));
+
+  MultiTrace back;
+  ASSERT_TRUE(load(back, path));
+  ASSERT_EQ(back.per_core.size(), 3u);
+  ASSERT_EQ(back.per_core[0].size(), 3u);
+  EXPECT_EQ(back.per_core[0][0].addr, 0xDEADBEEFu);
+  EXPECT_EQ(back.per_core[0][1].type, ReqType::kStore);
+  EXPECT_EQ(back.per_core[0][1].size, 2u);
+  EXPECT_TRUE(back.per_core[0][2].fence);
+  EXPECT_TRUE(back.per_core[1].empty());
+  EXPECT_TRUE(back.per_core[2][0].barrier);
+  EXPECT_EQ(back.per_core[2][1].size, 1u);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/hmcc_trace_bad.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  MultiTrace mt;
+  EXPECT_FALSE(load(mt, path));
+  EXPECT_FALSE(load(mt, "/nonexistent/path/xyz.bin"));
+}
+
+TEST(MultiTrace, TotalsAcrossCores) {
+  MultiTrace mt;
+  mt.per_core.resize(4);
+  mt.per_core[0].resize(10);
+  mt.per_core[3].resize(5);
+  EXPECT_EQ(mt.num_cores(), 4u);
+  EXPECT_EQ(mt.total_records(), 15u);
+}
+
+}  // namespace
+}  // namespace hmcc::trace
