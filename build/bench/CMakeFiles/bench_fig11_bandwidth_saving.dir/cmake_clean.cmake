@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bandwidth_saving.dir/bench_fig11_bandwidth_saving.cpp.o"
+  "CMakeFiles/bench_fig11_bandwidth_saving.dir/bench_fig11_bandwidth_saving.cpp.o.d"
+  "bench_fig11_bandwidth_saving"
+  "bench_fig11_bandwidth_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bandwidth_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

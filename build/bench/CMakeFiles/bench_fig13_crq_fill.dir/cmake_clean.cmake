@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_crq_fill.dir/bench_fig13_crq_fill.cpp.o"
+  "CMakeFiles/bench_fig13_crq_fill.dir/bench_fig13_crq_fill.cpp.o.d"
+  "bench_fig13_crq_fill"
+  "bench_fig13_crq_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_crq_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

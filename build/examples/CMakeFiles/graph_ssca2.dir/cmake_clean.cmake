@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_ssca2.dir/graph_ssca2.cpp.o"
+  "CMakeFiles/graph_ssca2.dir/graph_ssca2.cpp.o.d"
+  "graph_ssca2"
+  "graph_ssca2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_ssca2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

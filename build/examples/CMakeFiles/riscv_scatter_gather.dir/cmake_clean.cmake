@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_scatter_gather.dir/riscv_scatter_gather.cpp.o"
+  "CMakeFiles/riscv_scatter_gather.dir/riscv_scatter_gather.cpp.o.d"
+  "riscv_scatter_gather"
+  "riscv_scatter_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_scatter_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

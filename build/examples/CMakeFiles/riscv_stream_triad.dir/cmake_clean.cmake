@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_stream_triad.dir/riscv_stream_triad.cpp.o"
+  "CMakeFiles/riscv_stream_triad.dir/riscv_stream_triad.cpp.o.d"
+  "riscv_stream_triad"
+  "riscv_stream_triad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_stream_triad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

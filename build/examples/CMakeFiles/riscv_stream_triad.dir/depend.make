@@ -1,0 +1,2 @@
+# Empty dependencies file for riscv_stream_triad.
+# This may be replaced when dependencies are built.

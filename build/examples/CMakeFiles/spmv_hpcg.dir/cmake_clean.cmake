@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_hpcg.dir/spmv_hpcg.cpp.o"
+  "CMakeFiles/spmv_hpcg.dir/spmv_hpcg.cpp.o.d"
+  "spmv_hpcg"
+  "spmv_hpcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_hpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

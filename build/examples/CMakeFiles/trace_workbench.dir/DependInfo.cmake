@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_workbench.cpp" "examples/CMakeFiles/trace_workbench.dir/trace_workbench.cpp.o" "gcc" "examples/CMakeFiles/trace_workbench.dir/trace_workbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/hmcc_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/hmcc_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hmcc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/coalescer/CMakeFiles/hmcc_coalescer.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/hmcc_hmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hmcc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmcc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hmcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

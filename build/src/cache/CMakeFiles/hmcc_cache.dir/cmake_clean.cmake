@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_cache.dir/cache.cpp.o"
+  "CMakeFiles/hmcc_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/hmcc_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/hmcc_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hmcc_cache.dir/mshr.cpp.o"
+  "CMakeFiles/hmcc_cache.dir/mshr.cpp.o.d"
+  "CMakeFiles/hmcc_cache.dir/replacement.cpp.o"
+  "CMakeFiles/hmcc_cache.dir/replacement.cpp.o.d"
+  "libhmcc_cache.a"
+  "libhmcc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmcc_cache.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coalescer/coalescer.cpp" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/coalescer.cpp.o" "gcc" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/coalescer.cpp.o.d"
+  "/root/repo/src/coalescer/dmc_unit.cpp" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/dmc_unit.cpp.o" "gcc" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/dmc_unit.cpp.o.d"
+  "/root/repo/src/coalescer/dynamic_mshr.cpp" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/dynamic_mshr.cpp.o" "gcc" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/dynamic_mshr.cpp.o.d"
+  "/root/repo/src/coalescer/pipeline.cpp" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/pipeline.cpp.o" "gcc" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/pipeline.cpp.o.d"
+  "/root/repo/src/coalescer/sorting_network.cpp" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/sorting_network.cpp.o" "gcc" "src/coalescer/CMakeFiles/hmcc_coalescer.dir/sorting_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/hmcc_hmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

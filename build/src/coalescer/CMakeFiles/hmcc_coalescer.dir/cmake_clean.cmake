@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_coalescer.dir/coalescer.cpp.o"
+  "CMakeFiles/hmcc_coalescer.dir/coalescer.cpp.o.d"
+  "CMakeFiles/hmcc_coalescer.dir/dmc_unit.cpp.o"
+  "CMakeFiles/hmcc_coalescer.dir/dmc_unit.cpp.o.d"
+  "CMakeFiles/hmcc_coalescer.dir/dynamic_mshr.cpp.o"
+  "CMakeFiles/hmcc_coalescer.dir/dynamic_mshr.cpp.o.d"
+  "CMakeFiles/hmcc_coalescer.dir/pipeline.cpp.o"
+  "CMakeFiles/hmcc_coalescer.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hmcc_coalescer.dir/sorting_network.cpp.o"
+  "CMakeFiles/hmcc_coalescer.dir/sorting_network.cpp.o.d"
+  "libhmcc_coalescer.a"
+  "libhmcc_coalescer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_coalescer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_common.dir/config.cpp.o"
+  "CMakeFiles/hmcc_common.dir/config.cpp.o.d"
+  "CMakeFiles/hmcc_common.dir/log.cpp.o"
+  "CMakeFiles/hmcc_common.dir/log.cpp.o.d"
+  "CMakeFiles/hmcc_common.dir/stats.cpp.o"
+  "CMakeFiles/hmcc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hmcc_common.dir/table.cpp.o"
+  "CMakeFiles/hmcc_common.dir/table.cpp.o.d"
+  "libhmcc_common.a"
+  "libhmcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

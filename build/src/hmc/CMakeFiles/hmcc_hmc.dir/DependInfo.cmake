@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmc/address_map.cpp" "src/hmc/CMakeFiles/hmcc_hmc.dir/address_map.cpp.o" "gcc" "src/hmc/CMakeFiles/hmcc_hmc.dir/address_map.cpp.o.d"
+  "/root/repo/src/hmc/bank.cpp" "src/hmc/CMakeFiles/hmcc_hmc.dir/bank.cpp.o" "gcc" "src/hmc/CMakeFiles/hmcc_hmc.dir/bank.cpp.o.d"
+  "/root/repo/src/hmc/device.cpp" "src/hmc/CMakeFiles/hmcc_hmc.dir/device.cpp.o" "gcc" "src/hmc/CMakeFiles/hmcc_hmc.dir/device.cpp.o.d"
+  "/root/repo/src/hmc/link.cpp" "src/hmc/CMakeFiles/hmcc_hmc.dir/link.cpp.o" "gcc" "src/hmc/CMakeFiles/hmcc_hmc.dir/link.cpp.o.d"
+  "/root/repo/src/hmc/packet.cpp" "src/hmc/CMakeFiles/hmcc_hmc.dir/packet.cpp.o" "gcc" "src/hmc/CMakeFiles/hmcc_hmc.dir/packet.cpp.o.d"
+  "/root/repo/src/hmc/vault.cpp" "src/hmc/CMakeFiles/hmcc_hmc.dir/vault.cpp.o" "gcc" "src/hmc/CMakeFiles/hmcc_hmc.dir/vault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmcc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

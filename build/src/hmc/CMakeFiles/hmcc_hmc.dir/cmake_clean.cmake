@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_hmc.dir/address_map.cpp.o"
+  "CMakeFiles/hmcc_hmc.dir/address_map.cpp.o.d"
+  "CMakeFiles/hmcc_hmc.dir/bank.cpp.o"
+  "CMakeFiles/hmcc_hmc.dir/bank.cpp.o.d"
+  "CMakeFiles/hmcc_hmc.dir/device.cpp.o"
+  "CMakeFiles/hmcc_hmc.dir/device.cpp.o.d"
+  "CMakeFiles/hmcc_hmc.dir/link.cpp.o"
+  "CMakeFiles/hmcc_hmc.dir/link.cpp.o.d"
+  "CMakeFiles/hmcc_hmc.dir/packet.cpp.o"
+  "CMakeFiles/hmcc_hmc.dir/packet.cpp.o.d"
+  "CMakeFiles/hmcc_hmc.dir/vault.cpp.o"
+  "CMakeFiles/hmcc_hmc.dir/vault.cpp.o.d"
+  "libhmcc_hmc.a"
+  "libhmcc_hmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_riscv.dir/assembler.cpp.o"
+  "CMakeFiles/hmcc_riscv.dir/assembler.cpp.o.d"
+  "CMakeFiles/hmcc_riscv.dir/cpu.cpp.o"
+  "CMakeFiles/hmcc_riscv.dir/cpu.cpp.o.d"
+  "CMakeFiles/hmcc_riscv.dir/isa.cpp.o"
+  "CMakeFiles/hmcc_riscv.dir/isa.cpp.o.d"
+  "libhmcc_riscv.a"
+  "libhmcc_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

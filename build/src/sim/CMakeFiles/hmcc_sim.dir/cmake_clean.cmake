@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_sim.dir/kernel.cpp.o"
+  "CMakeFiles/hmcc_sim.dir/kernel.cpp.o.d"
+  "libhmcc_sim.a"
+  "libhmcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

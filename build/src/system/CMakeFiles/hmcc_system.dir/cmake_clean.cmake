@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_system.dir/config_bridge.cpp.o"
+  "CMakeFiles/hmcc_system.dir/config_bridge.cpp.o.d"
+  "CMakeFiles/hmcc_system.dir/runner.cpp.o"
+  "CMakeFiles/hmcc_system.dir/runner.cpp.o.d"
+  "CMakeFiles/hmcc_system.dir/system.cpp.o"
+  "CMakeFiles/hmcc_system.dir/system.cpp.o.d"
+  "libhmcc_system.a"
+  "libhmcc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_trace.dir/trace.cpp.o"
+  "CMakeFiles/hmcc_trace.dir/trace.cpp.o.d"
+  "libhmcc_trace.a"
+  "libhmcc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

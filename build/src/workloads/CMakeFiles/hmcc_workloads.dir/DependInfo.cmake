@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bots.cpp" "src/workloads/CMakeFiles/hmcc_workloads.dir/bots.cpp.o" "gcc" "src/workloads/CMakeFiles/hmcc_workloads.dir/bots.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/hmcc_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/hmcc_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/nas.cpp" "src/workloads/CMakeFiles/hmcc_workloads.dir/nas.cpp.o" "gcc" "src/workloads/CMakeFiles/hmcc_workloads.dir/nas.cpp.o.d"
+  "/root/repo/src/workloads/sparse.cpp" "src/workloads/CMakeFiles/hmcc_workloads.dir/sparse.cpp.o" "gcc" "src/workloads/CMakeFiles/hmcc_workloads.dir/sparse.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/hmcc_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/hmcc_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmcc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcc_workloads.dir/bots.cpp.o"
+  "CMakeFiles/hmcc_workloads.dir/bots.cpp.o.d"
+  "CMakeFiles/hmcc_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/hmcc_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/hmcc_workloads.dir/nas.cpp.o"
+  "CMakeFiles/hmcc_workloads.dir/nas.cpp.o.d"
+  "CMakeFiles/hmcc_workloads.dir/sparse.cpp.o"
+  "CMakeFiles/hmcc_workloads.dir/sparse.cpp.o.d"
+  "CMakeFiles/hmcc_workloads.dir/workload.cpp.o"
+  "CMakeFiles/hmcc_workloads.dir/workload.cpp.o.d"
+  "libhmcc_workloads.a"
+  "libhmcc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

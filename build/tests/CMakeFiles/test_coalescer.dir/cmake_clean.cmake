@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalescer.dir/coalescer/coalescer_test.cpp.o"
+  "CMakeFiles/test_coalescer.dir/coalescer/coalescer_test.cpp.o.d"
+  "CMakeFiles/test_coalescer.dir/coalescer/config_sweep_test.cpp.o"
+  "CMakeFiles/test_coalescer.dir/coalescer/config_sweep_test.cpp.o.d"
+  "CMakeFiles/test_coalescer.dir/coalescer/dmc_unit_test.cpp.o"
+  "CMakeFiles/test_coalescer.dir/coalescer/dmc_unit_test.cpp.o.d"
+  "CMakeFiles/test_coalescer.dir/coalescer/dynamic_mshr_test.cpp.o"
+  "CMakeFiles/test_coalescer.dir/coalescer/dynamic_mshr_test.cpp.o.d"
+  "CMakeFiles/test_coalescer.dir/coalescer/pipeline_test.cpp.o"
+  "CMakeFiles/test_coalescer.dir/coalescer/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_coalescer.dir/coalescer/sort_key_test.cpp.o"
+  "CMakeFiles/test_coalescer.dir/coalescer/sort_key_test.cpp.o.d"
+  "CMakeFiles/test_coalescer.dir/coalescer/sorting_network_test.cpp.o"
+  "CMakeFiles/test_coalescer.dir/coalescer/sorting_network_test.cpp.o.d"
+  "test_coalescer"
+  "test_coalescer.pdb"
+  "test_coalescer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalescer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmc.dir/hmc/address_map_test.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/address_map_test.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/bank_test.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/bank_test.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/config_sweep_test.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/config_sweep_test.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/device_test.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/device_test.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/packet_test.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/packet_test.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/vault_link_test.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/vault_link_test.cpp.o.d"
+  "test_hmc"
+  "test_hmc.pdb"
+  "test_hmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riscv.dir/riscv/assembler_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/assembler_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/atomics_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/atomics_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/cpu_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/cpu_test.cpp.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/isa_test.cpp.o"
+  "CMakeFiles/test_riscv.dir/riscv/isa_test.cpp.o.d"
+  "test_riscv"
+  "test_riscv.pdb"
+  "test_riscv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/system/config_bridge_test.cpp.o"
+  "CMakeFiles/test_system.dir/system/config_bridge_test.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/equivalence_test.cpp.o"
+  "CMakeFiles/test_system.dir/system/equivalence_test.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/golden_test.cpp.o"
+  "CMakeFiles/test_system.dir/system/golden_test.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/scaling_test.cpp.o"
+  "CMakeFiles/test_system.dir/system/scaling_test.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/system_test.cpp.o"
+  "CMakeFiles/test_system.dir/system/system_test.cpp.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/trace_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/hmcc_hmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hmcc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/coalescer/CMakeFiles/hmcc_coalescer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmcc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
