@@ -15,18 +15,27 @@ int main(int argc, char** argv) {
 
   Table table({"benchmark", "policy", "row activations (base)",
                "row activations (coal)", "mem-phase speedup"});
-  for (const std::string& name : {std::string("stream"), std::string("ft"),
-                                  std::string("sg")}) {
+  const std::vector<std::string> names = {"stream", "ft", "sg"};
+  std::vector<system::SweepRunner::Point> points;
+  for (const std::string& name : names) {
     for (const bool closed : {true, false}) {
       system::SystemConfig conv = env.base_config();
       conv.hmc.closed_page = closed;
       system::apply_mode(conv, system::CoalescerMode::kConventional);
-      const auto base = system::run_workload(name, conv, env.params);
+      points.push_back({name, conv, env.params});
 
       system::SystemConfig full = env.base_config();
       full.hmc.closed_page = closed;
       system::apply_mode(full, system::CoalescerMode::kFull);
-      const auto coal = system::run_workload(name, full, env.params);
+      points.push_back({name, full, env.params});
+    }
+  }
+  const auto results = env.runner().run_points(points);
+  std::size_t idx = 0;
+  for (const std::string& name : names) {
+    for (const bool closed : {true, false}) {
+      const auto& base = results[idx++];
+      const auto& coal = results[idx++];
 
       const double speedup =
           coal.report.runtime

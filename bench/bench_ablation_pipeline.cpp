@@ -34,17 +34,24 @@ int main(int argc, char** argv) {
   Table impact({"benchmark", "4-stage runtime", "10-stage runtime",
                 "runtime delta", "4-stage req latency (ns)",
                 "10-stage req latency (ns)"});
-  for (const std::string& name : {std::string("stream"), std::string("ft"),
-                                  std::string("hpcg")}) {
+  const std::vector<std::string> names = {"stream", "ft", "hpcg"};
+  std::vector<system::SweepRunner::Point> points;
+  for (const std::string& name : names) {
     system::SystemConfig a = env.base_config();
     a.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStage;
     system::apply_mode(a, system::CoalescerMode::kFull);
-    const auto ra = system::run_workload(name, a, env.params);
+    points.push_back({name, a, env.params});
 
     system::SystemConfig b = env.base_config();
     b.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStep;
     system::apply_mode(b, system::CoalescerMode::kFull);
-    const auto rb = system::run_workload(name, b, env.params);
+    points.push_back({name, b, env.params});
+  }
+  const auto results = env.runner().run_points(points);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto& ra = results[2 * i];
+    const auto& rb = results[2 * i + 1];
 
     const double delta =
         rb.report.runtime

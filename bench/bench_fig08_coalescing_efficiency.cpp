@@ -17,18 +17,22 @@ int main(int argc, char** argv) {
   double sum_dmc = 0;
   double sum_full = 0;
   const auto& names = workloads::workload_names();
+  std::vector<system::SweepRunner::Point> points;
   for (const std::string& name : names) {
-    system::SystemConfig conv = env.base_config();
-    system::apply_mode(conv, system::CoalescerMode::kConventional);
-    const auto r_mshr = system::run_workload(name, conv, env.params);
-
-    system::SystemConfig dmc = env.base_config();
-    system::apply_mode(dmc, system::CoalescerMode::kDmcOnly);
-    const auto r_dmc = system::run_workload(name, dmc, env.params);
-
-    system::SystemConfig full = env.base_config();
-    system::apply_mode(full, system::CoalescerMode::kFull);
-    const auto r_full = system::run_workload(name, full, env.params);
+    for (const auto mode :
+         {system::CoalescerMode::kConventional, system::CoalescerMode::kDmcOnly,
+          system::CoalescerMode::kFull}) {
+      system::SystemConfig cfg = env.base_config();
+      system::apply_mode(cfg, mode);
+      points.push_back({name, cfg, env.params});
+    }
+  }
+  const auto results = env.runner().run_points(points);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto& r_mshr = results[3 * i];
+    const auto& r_dmc = results[3 * i + 1];
+    const auto& r_full = results[3 * i + 2];
 
     const double e_mshr = r_mshr.report.coalescing_efficiency();
     const double e_dmc = r_dmc.report.coalescing_efficiency();

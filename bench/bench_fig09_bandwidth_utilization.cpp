@@ -63,31 +63,39 @@ int main(int argc, char** argv) {
   double sum_raw = 0;
   double sum_coal = 0;
   const auto& names = workloads::workload_names();
-  for (const std::string& name : names) {
-    // Raw series: conventional run, Equation (1) with actual CPU payloads.
-    system::SystemConfig conv = env.base_config();
-    system::apply_mode(conv, system::CoalescerMode::kConventional);
-    const auto raw = system::run_workload(name, conv, env.params);
-    const double raw_eff = raw.report.payload_bandwidth_efficiency();
+  struct Row {
+    double raw_eff = 0;
+    double coal_eff = 0;
+  };
+  const std::vector<Row> rows =
+      env.runner().map<Row>(names.size(), [&](std::size_t i) {
+        const std::string& name = names[i];
+        // Raw series: conventional run, Equation (1) with actual payloads.
+        system::SystemConfig conv = env.base_config();
+        system::apply_mode(conv, system::CoalescerMode::kConventional);
+        const auto raw = system::run_workload(name, conv, env.params);
 
-    // Coalesced series: capture the miss stream of the same workload and
-    // re-coalesce it at payload granularity.
-    auto gen = workloads::make_workload(name);
-    workloads::WorkloadParams p = env.params;
-    p.num_cores = conv.hierarchy.num_cores;
-    const trace::MultiTrace mtrace = gen->generate(p);
-    std::vector<coalescer::CoalescerRequest> stream;
-    system::System sys(conv);
-    sys.set_miss_hook([&stream](const coalescer::CoalescerRequest& r,
-                                std::uint32_t) { stream.push_back(r); });
-    (void)sys.run(mtrace);
-    const PayloadAnalysis coal = analyze(stream, conv.coalescer.window);
-
+        // Coalesced series: capture the miss stream of the same workload
+        // and re-coalesce it at payload granularity.
+        auto gen = workloads::make_workload(name);
+        workloads::WorkloadParams p = env.params;
+        p.num_cores = conv.hierarchy.num_cores;
+        const trace::MultiTrace mtrace = gen->generate(p);
+        std::vector<coalescer::CoalescerRequest> stream;
+        system::System sys(conv);
+        sys.set_miss_hook([&stream](const coalescer::CoalescerRequest& r,
+                                    std::uint32_t) { stream.push_back(r); });
+        (void)sys.run(mtrace);
+        const PayloadAnalysis coal = analyze(stream, conv.coalescer.window);
+        return Row{raw.report.payload_bandwidth_efficiency(),
+                   coal.efficiency()};
+      });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& [raw_eff, coal_eff] = rows[i];
     sum_raw += raw_eff;
-    sum_coal += coal.efficiency();
-    table.add_row({name, Table::pct(raw_eff), Table::pct(coal.efficiency()),
-                   Table::fmt(raw_eff > 0 ? coal.efficiency() / raw_eff : 0.0,
-                              2) +
+    sum_coal += coal_eff;
+    table.add_row({names[i], Table::pct(raw_eff), Table::pct(coal_eff),
+                   Table::fmt(raw_eff > 0 ? coal_eff / raw_eff : 0.0, 2) +
                        "x"});
   }
   const double n = static_cast<double>(names.size());

@@ -15,10 +15,16 @@ int main(int argc, char** argv) {
   double sum_ns = 0;
   int counted = 0;
   const auto& names = workloads::workload_names();
+  std::vector<system::SweepRunner::Point> points;
   for (const std::string& name : names) {
     system::SystemConfig full = env.base_config();
     system::apply_mode(full, system::CoalescerMode::kFull);
-    const auto r = system::run_workload(name, full, env.params);
+    points.push_back({name, full, env.params});
+  }
+  const auto results = env.runner().run_points(points);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto& r = results[i];
     const double cycles = r.report.coalescer.crq_fill_time.mean();
     const double ns = cycles * arch::kNsPerCycle;
     if (r.report.coalescer.crq_fill_time.count() > 0) {

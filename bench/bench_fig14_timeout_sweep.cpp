@@ -15,14 +15,21 @@ int main(int argc, char** argv) {
   Table table({"benchmark", "T=16 (ns)", "T=20 (ns)", "T=24 (ns)",
                "T=28 (ns)"});
   const auto& names = workloads::workload_names();
-  std::vector<double> avg(4, 0.0);
+  std::vector<system::SweepRunner::Point> points;
   for (const std::string& name : names) {
-    std::vector<std::string> row{name};
     for (std::size_t t = 0; t < 4; ++t) {
       system::SystemConfig full = env.base_config();
       full.coalescer.timeout = timeouts[t];
       system::apply_mode(full, system::CoalescerMode::kFull);
-      const auto r = system::run_workload(name, full, env.params);
+      points.push_back({name, full, env.params});
+    }
+  }
+  const auto results = env.runner().run_points(points);
+  std::vector<double> avg(4, 0.0);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> row{names[i]};
+    for (std::size_t t = 0; t < 4; ++t) {
+      const auto& r = results[4 * i + t];
       const double ns =
           r.report.coalescer.front_latency.mean() * arch::kNsPerCycle;
       avg[t] += ns;

@@ -13,14 +13,21 @@ int main(int argc, char** argv) {
                "mem-phase speedup", "mem fraction", "app improvement"});
   double sum = 0;
   const auto& names = workloads::workload_names();
+  std::vector<system::SweepRunner::Point> points;
   for (const std::string& name : names) {
     system::SystemConfig conv = env.base_config();
     system::apply_mode(conv, system::CoalescerMode::kConventional);
-    const auto base = system::run_workload(name, conv, env.params);
+    points.push_back({name, conv, env.params});
 
     system::SystemConfig full = env.base_config();
     system::apply_mode(full, system::CoalescerMode::kFull);
-    const auto coal = system::run_workload(name, full, env.params);
+    points.push_back({name, full, env.params});
+  }
+  const auto results = env.runner().run_points(points);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto& base = results[2 * i];
+    const auto& coal = results[2 * i + 1];
 
     const double mem_speedup =
         coal.report.runtime > 0

@@ -7,6 +7,11 @@
 //   accesses=<n>  per-core CPU accesses (default 15000)
 //   seed=<n>      workload RNG seed
 //   csv=<path>    CSV output path ("" disables)
+//   threads=<n>   sweep-point fan-out (default 0 = hardware_concurrency)
+//
+// Sweep-shaped benches run their (config, workload) points through
+// system::SweepRunner: points execute in parallel but results are collected
+// in input order, so tables and CSVs are identical for any threads= value.
 #pragma once
 
 #include <cstdio>
@@ -16,6 +21,7 @@
 #include "common/table.hpp"
 #include "system/config_bridge.hpp"
 #include "system/runner.hpp"
+#include "system/sweep_runner.hpp"
 #include "workloads/workload.hpp"
 
 namespace hmcc::bench {
@@ -24,12 +30,16 @@ struct BenchEnv {
   Config cli;
   workloads::WorkloadParams params;
   std::string csv_path;
+  unsigned threads = 0;  ///< 0 = hardware_concurrency
 
   /// The paper platform with any CLI overrides applied (see
   /// system/config_bridge.hpp for the full key list).
   system::SystemConfig base_config() const {
     return system::config_from_cli(cli);
   }
+
+  /// Sweep fan-out honoring the threads= knob.
+  system::SweepRunner runner() const { return system::SweepRunner(threads); }
 };
 
 inline BenchEnv parse_env(int argc, char** argv, const char* bench_name,
@@ -41,6 +51,7 @@ inline BenchEnv parse_env(int argc, char** argv, const char* bench_name,
   env.params.seed = env.cli.get_uint("seed", 1);
   env.csv_path =
       env.cli.get_string("csv", std::string(bench_name) + ".csv");
+  env.threads = static_cast<unsigned>(env.cli.get_uint("threads", 0));
   return env;
 }
 

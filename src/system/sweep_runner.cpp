@@ -1,0 +1,60 @@
+#include "system/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace hmcc::system {
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;  // hardware_concurrency may report 0
+}
+
+void SweepRunner::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(threads_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<RunResult> SweepRunner::run_points(
+    const std::vector<Point>& points) const {
+  return map<RunResult>(points.size(), [&](std::size_t i) {
+    const Point& p = points[i];
+    return run_workload(p.workload, p.cfg, p.params);
+  });
+}
+
+}  // namespace hmcc::system

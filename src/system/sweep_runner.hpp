@@ -1,0 +1,63 @@
+// Parallel sweep execution for the figure benches and scaling experiments.
+//
+// Every figure of the paper is a sweep over independent (SystemConfig,
+// workload, seed) points; each point builds its own System, Workload and RNG
+// state, so points share nothing mutable and can run on separate host
+// threads. SweepRunner fans a list of points out over a thread pool and
+// collects results INTO INPUT ORDER, so a sweep's output (tables, CSV rows)
+// is byte-identical regardless of thread count — parallelism changes
+// wall-clock, never results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "system/runner.hpp"
+#include "system/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace hmcc::system {
+
+class SweepRunner {
+ public:
+  /// @p threads = 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned threads = 0);
+
+  /// Worker threads this runner fans out over (>= 1).
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// One simulation point of a sweep.
+  struct Point {
+    std::string workload;
+    SystemConfig cfg;
+    workloads::WorkloadParams params;
+  };
+
+  /// Run every point (each via run_workload) and return results in input
+  /// order.
+  [[nodiscard]] std::vector<RunResult> run_points(
+      const std::vector<Point>& points) const;
+
+  /// Generic ordered fan-out: invoke @p fn(i) for every i in [0, count)
+  /// across the pool. @p fn must be safe to call concurrently for distinct
+  /// indices. The first exception thrown by any invocation is rethrown on
+  /// the calling thread after all workers join.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& fn) const;
+
+  /// Ordered parallel map: out[i] = fn(i). T must be default-constructible
+  /// and movable.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(std::size_t count, Fn&& fn) const {
+    std::vector<T> out(count);
+    for_each_index(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace hmcc::system

@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
+
+#include "common/rng.hpp"
+#include "sim/reference_kernel.hpp"
 
 namespace hmcc {
 namespace {
@@ -78,6 +85,160 @@ TEST(Kernel, StepAndCounters) {
   EXPECT_TRUE(k.step());
   EXPECT_FALSE(k.step());
   EXPECT_EQ(k.events_fired(), 2u);
+}
+
+TEST(Kernel, RunUntilFiresEventExactlyAtLimit) {
+  Kernel k;
+  int fired = 0;
+  k.schedule_at(50, [&] { ++fired; });
+  k.schedule_at(51, [&] { ++fired; });
+  EXPECT_TRUE(k.run_until(50));  // when == limit fires
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.now(), 50u);
+  EXPECT_FALSE(k.run_until(51));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, RunUntilAdvancesTimeOnEmptyQueue) {
+  Kernel k;
+  EXPECT_FALSE(k.run_until(1000));
+  EXPECT_EQ(k.now(), 1000u);
+  // Past limits leave time untouched.
+  EXPECT_FALSE(k.run_until(10));
+  EXPECT_EQ(k.now(), 1000u);
+  int fired = 0;
+  k.schedule(1, [&] { ++fired; });
+  k.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.now(), 1001u);
+}
+
+TEST(Kernel, FarFutureEventsBeyondRingCoverage) {
+  // Deltas far past kRingSize route through the overflow heap and still
+  // fire in (cycle, seq) order.
+  Kernel k;
+  std::vector<int> order;
+  const Cycle far = 10 * Kernel::kRingSize;
+  k.schedule_at(far, [&] { order.push_back(1); });
+  k.schedule_at(far + 3 * Kernel::kRingSize, [&] { order.push_back(2); });
+  k.schedule_at(5, [&] { order.push_back(0); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(k.now(), far + 3 * Kernel::kRingSize);
+}
+
+TEST(Kernel, OverflowAndRingEventsAtTheSameCycleKeepScheduleOrder) {
+  // An event scheduled while its cycle was outside the ring window must
+  // fire before events scheduled for the same cycle from nearby (it was
+  // scheduled first).
+  Kernel k;
+  std::vector<int> order;
+  const Cycle target = Kernel::kRingSize + 100;
+  k.schedule_at(target, [&] { order.push_back(1); });  // overflow path
+  k.schedule_at(target - 50, [&, target] {
+    // Now target is in-window: this lands in the ring bucket.
+    k.schedule_at(target, [&] { order.push_back(2); });
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Kernel, BucketWrapReusesRingSlots) {
+  // March time across several full ring laps; every bucket slot is reused
+  // for multiple distinct cycles congruent mod kRingSize.
+  Kernel k;
+  std::uint64_t fired = 0;
+  std::function<void()> hop = [&] {
+    ++fired;
+    if (fired < 64) k.schedule(Kernel::kRingSize - 1, hop);
+  };
+  k.schedule_at(0, hop);
+  k.run();
+  EXPECT_EQ(fired, 64u);
+  EXPECT_EQ(k.now(), 63u * (Kernel::kRingSize - 1));
+}
+
+TEST(Kernel, LargeCapturesFallBackToHeapAndStillRun) {
+  Kernel k;
+  std::array<std::uint64_t, 16> blob{};  // 128 B capture: > kInlineBytes
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = i + 1;
+  std::uint64_t sum = 0;
+  static_assert(!InlineCallback::fits_inline<decltype([blob, &sum] {})>());
+  k.schedule_at(3, [blob, &sum] {
+    for (std::uint64_t v : blob) sum += v;
+  });
+  k.run();
+  EXPECT_EQ(sum, 136u);
+}
+
+TEST(Kernel, SameCycleFifoAcrossManyEvents) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(40, [&] {
+    for (int i = 0; i < 100; ++i) {
+      k.schedule(0, [&order, i] { order.push_back(i); });
+    }
+  });
+  k.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test: the production Kernel must fire the exact
+// same (event id, cycle) sequence as the reference heap scheduler for
+// arbitrary self-expanding event trees mixing ring and overflow delays.
+
+template <typename K>
+std::vector<std::pair<std::uint64_t, Cycle>> run_scenario(std::uint64_t seed,
+                                                          bool use_run_until) {
+  K k;
+  std::vector<std::pair<std::uint64_t, Cycle>> log;
+  std::uint64_t next_id = 0;
+  std::function<void(std::uint64_t)> fire = [&](std::uint64_t id) {
+    log.emplace_back(id, k.now());
+    if (log.size() >= 4000) return;  // identical cutoff for both kernels
+    Xoshiro256 rng(seed ^ (id * 0x9E3779B97F4A7C15ULL));
+    const std::uint64_t kids = rng.below(3);
+    for (std::uint64_t c = 0; c < kids; ++c) {
+      // Mostly near-future (ring) with a tail of overflow-heap delays.
+      const Cycle delay = rng.chance(0.05)
+                              ? rng.below(4 * Kernel::kRingSize)
+                              : rng.below(300);
+      const std::uint64_t kid = next_id++;
+      k.schedule(delay, [&fire, kid] { fire(kid); });
+    }
+  };
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t id = next_id++;
+    k.schedule_at(Xoshiro256(seed + static_cast<std::uint64_t>(i)).below(512),
+                  [&fire, id] { fire(id); });
+  }
+  if (use_run_until) {
+    while (k.run_until(k.now() + 97)) {
+    }
+  } else {
+    k.run();
+  }
+  return log;
+}
+
+TEST(Kernel, DifferentialAgainstReferenceHeapScheduler) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 1234567ULL}) {
+    const auto expected = run_scenario<sim::ReferenceKernel>(seed, false);
+    const auto actual = run_scenario<Kernel>(seed, false);
+    ASSERT_GT(expected.size(), 100u);
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
+}
+
+TEST(Kernel, DifferentialUnderRunUntilStepping) {
+  for (std::uint64_t seed : {7ULL, 99ULL}) {
+    const auto expected = run_scenario<sim::ReferenceKernel>(seed, true);
+    const auto actual = run_scenario<Kernel>(seed, true);
+    ASSERT_GT(expected.size(), 100u);
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 // and line ID segment to support the possible larger request packets in the
 // future HMC generations." These tests exercise the coalescer with a
 // hypothetical 512 B-block HMC (3-bit size/line-ID equivalents) and other
-// off-default platform shapes.
+// off-default platform shapes. The full-system points run through
+// SweepRunner — the same fan-out the bench suite uses — so the off-default
+// shapes double as a concurrency test for parallel System instances.
 #include <gtest/gtest.h>
 
 #include "system/runner.hpp"
+#include "system/sweep_runner.hpp"
 
 namespace hmcc::system {
 namespace {
@@ -32,17 +35,49 @@ trace::MultiTrace dense_trace(std::uint32_t cores, std::uint64_t lines) {
   return mt;
 }
 
-TEST(Scaling, FutureHmcWith512ByteBlocks) {
-  SystemConfig cfg = paper_system_config();
-  cfg.hierarchy.num_cores = 4;
-  cfg.hmc.block_bytes = 512;
-  cfg.coalescer.max_packet_bytes = 256;  // commands still cap at 256 B
-  ASSERT_TRUE(cfg.hmc.valid());
-  apply_mode(cfg, CoalescerMode::kFull);
-  System sys(cfg);
-  const auto rep = sys.run(dense_trace(4, 1000));
-  EXPECT_EQ(rep.cpu_accesses, 4000u);
-  EXPECT_GT(rep.coalescing_efficiency(), 0.2);
+TEST(Scaling, OffDefaultPlatformShapesSweepInParallel) {
+  // Four off-default platform shapes, simulated concurrently. Each lambda
+  // builds its own System; assertions run on the collected reports.
+  struct Shape {
+    const char* name;
+    SystemConfig cfg;
+  };
+  std::vector<Shape> shapes;
+
+  SystemConfig future = paper_system_config();
+  future.hierarchy.num_cores = 4;
+  future.hmc.block_bytes = 512;
+  future.coalescer.max_packet_bytes = 256;  // commands still cap at 256 B
+  ASSERT_TRUE(future.hmc.valid());
+  shapes.push_back({"future-hmc-512B-blocks", future});
+
+  SystemConfig wide = paper_system_config();
+  wide.hierarchy.num_cores = 4;
+  wide.coalescer.window = 32;
+  shapes.push_back({"wide-window", wide});
+
+  SystemConfig open_page = paper_system_config();
+  open_page.hierarchy.num_cores = 4;
+  open_page.hmc.closed_page = false;
+  shapes.push_back({"open-page", open_page});
+
+  const SweepRunner runner(4);
+  const auto reports =
+      runner.map<SystemReport>(shapes.size(), [&](std::size_t i) {
+        SystemConfig cfg = shapes[i].cfg;
+        apply_mode(cfg, CoalescerMode::kFull);
+        System sys(cfg);
+        return sys.run(dense_trace(4, 1000));
+      });
+
+  ASSERT_EQ(reports.size(), shapes.size());
+  for (const auto& rep : reports) EXPECT_TRUE(rep.drained);
+
+  EXPECT_EQ(reports[0].cpu_accesses, 4000u);          // future-hmc
+  EXPECT_GT(reports[0].coalescing_efficiency(), 0.2);
+  EXPECT_EQ(reports[1].llc_misses, 4000u);            // wide-window
+  EXPECT_GT(reports[1].coalescing_efficiency(), 0.2);
+  EXPECT_GT(reports[2].hmc.row_hits, 0u);             // open-page
 }
 
 TEST(Scaling, EightLinePacketsWhenCommandsAllow) {
@@ -72,32 +107,18 @@ TEST(Scaling, EightLinePacketsWhenCommandsAllow) {
   EXPECT_EQ(fill->targets.size(), 8u);  // 3-bit line IDs round-trip
 }
 
-TEST(Scaling, WiderWindowStillCorrect) {
-  SystemConfig cfg = paper_system_config();
-  cfg.hierarchy.num_cores = 4;
-  cfg.coalescer.window = 32;
-  apply_mode(cfg, CoalescerMode::kFull);
-  System sys(cfg);
-  const auto rep = sys.run(dense_trace(4, 1000));
-  EXPECT_EQ(rep.llc_misses, 4000u);
-  EXPECT_GT(rep.coalescing_efficiency(), 0.2);
-}
-
 TEST(Scaling, MoreMshrsMoreThroughput) {
-  SystemConfig a = paper_system_config();
-  a.hierarchy.num_cores = 4;
-  a.hierarchy.llc_mshrs = 4;
-  apply_mode(a, CoalescerMode::kFull);
-  System sys_a(a);
-  const auto small = sys_a.run(dense_trace(4, 2000));
-
-  SystemConfig b = paper_system_config();
-  b.hierarchy.num_cores = 4;
-  b.hierarchy.llc_mshrs = 32;
-  apply_mode(b, CoalescerMode::kFull);
-  System sys_b(b);
-  const auto big = sys_b.run(dense_trace(4, 2000));
-  EXPECT_LT(big.runtime, small.runtime);
+  const SweepRunner runner(2);
+  const std::uint32_t mshrs[] = {4, 32};
+  const auto reports = runner.map<SystemReport>(2, [&](std::size_t i) {
+    SystemConfig cfg = paper_system_config();
+    cfg.hierarchy.num_cores = 4;
+    cfg.hierarchy.llc_mshrs = mshrs[i];
+    apply_mode(cfg, CoalescerMode::kFull);
+    System sys(cfg);
+    return sys.run(dense_trace(4, 2000));
+  });
+  EXPECT_LT(reports[1].runtime, reports[0].runtime);
 }
 
 TEST(Scaling, SingleCoreSystemWorks) {
@@ -107,16 +128,6 @@ TEST(Scaling, SingleCoreSystemWorks) {
   const auto r = run_workload("stream", cfg, tiny_params());
   EXPECT_GT(r.report.cpu_accesses, 0u);
   EXPECT_GT(r.report.runtime, 0u);
-}
-
-TEST(Scaling, OpenPagePolicyRuns) {
-  SystemConfig cfg = paper_system_config();
-  cfg.hierarchy.num_cores = 4;
-  cfg.hmc.closed_page = false;
-  apply_mode(cfg, CoalescerMode::kFull);
-  System sys(cfg);
-  const auto rep = sys.run(dense_trace(4, 1000));
-  EXPECT_GT(rep.hmc.row_hits, 0u);
 }
 
 }  // namespace
