@@ -6,50 +6,60 @@
 // avoided row cycles: under an open-page policy the row stays open across
 // the small requests, so the coalescer's latency advantage shrinks (its
 // control-overhead advantage does not).
-#include "bench_util.hpp"
+#include "suite/benches.hpp"
 
-int main(int argc, char** argv) {
-  using namespace hmcc;
-  bench::BenchEnv env = bench::parse_env(argc, argv, "ablation_hmc_paging",
-                                         /*default_accesses=*/8000);
+namespace hmcc::bench {
 
-  Table table({"benchmark", "policy", "row activations (base)",
-               "row activations (coal)", "mem-phase speedup"});
-  const std::vector<std::string> names = {"stream", "ft", "sg"};
-  std::vector<system::SweepRunner::Point> points;
-  for (const std::string& name : names) {
-    for (const bool closed : {true, false}) {
-      system::SystemConfig conv = env.base_config();
-      conv.hmc.closed_page = closed;
-      system::apply_mode(conv, system::CoalescerMode::kConventional);
-      points.push_back({name, conv, env.params});
+SuiteBench make_ablation_hmc_paging() {
+  SuiteBench b;
+  b.name = "ablation_hmc_paging";
+  b.title = "Ablation: HMC Row-Buffer Policy";
+  b.paper_note =
+      "closed-page (HMC default) is where coalescing saves the most "
+      "row cycles";
+  b.default_accesses = 8000;
+  b.tasks = [](const BenchEnv& env) {
+    const std::vector<std::string> names = {"stream", "ft", "sg"};
+    std::vector<system::SweepRunner::Point> points;
+    for (const std::string& name : names) {
+      for (const bool closed : {true, false}) {
+        system::SystemConfig conv = env.base_config();
+        conv.hmc.closed_page = closed;
+        system::apply_mode(conv, system::CoalescerMode::kConventional);
+        points.push_back({name, conv, env.params});
 
-      system::SystemConfig full = env.base_config();
-      full.hmc.closed_page = closed;
-      system::apply_mode(full, system::CoalescerMode::kFull);
-      points.push_back({name, full, env.params});
+        system::SystemConfig full = env.base_config();
+        full.hmc.closed_page = closed;
+        system::apply_mode(full, system::CoalescerMode::kFull);
+        points.push_back({name, full, env.params});
+      }
     }
-  }
-  const auto results = env.runner().run_points(points);
-  std::size_t idx = 0;
-  for (const std::string& name : names) {
-    for (const bool closed : {true, false}) {
-      const auto& base = results[idx++];
-      const auto& coal = results[idx++];
+    return run_point_tasks(std::move(points));
+  };
+  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
+    Table table({"benchmark", "policy", "row activations (base)",
+                 "row activations (coal)", "mem-phase speedup"});
+    const std::vector<std::string> names = {"stream", "ft", "sg"};
+    std::size_t idx = 0;
+    for (const std::string& name : names) {
+      for (const bool closed : {true, false}) {
+        const auto& base = result_as<system::RunResult>(results[idx++]);
+        const auto& coal = result_as<system::RunResult>(results[idx++]);
 
-      const double speedup =
-          coal.report.runtime
-              ? static_cast<double>(base.report.runtime) /
-                    static_cast<double>(coal.report.runtime)
-              : 1.0;
-      table.add_row({name, closed ? "closed-page" : "open-page",
-                     Table::fmt(base.report.hmc.row_activations),
-                     Table::fmt(coal.report.hmc.row_activations),
-                     Table::fmt(speedup, 2) + "x"});
+        const double speedup =
+            coal.report.runtime
+                ? static_cast<double>(base.report.runtime) /
+                      static_cast<double>(coal.report.runtime)
+                : 1.0;
+        table.add_row({name, closed ? "closed-page" : "open-page",
+                       Table::fmt(base.report.hmc.row_activations),
+                       Table::fmt(coal.report.hmc.row_activations),
+                       Table::fmt(speedup, 2) + "x"});
+      }
     }
-  }
-  bench::emit(table, env, "Ablation: HMC Row-Buffer Policy",
-              "closed-page (HMC default) is where coalescing saves the most "
-              "row cycles");
-  return 0;
+    return table;
+  };
+  return b;
 }
+
+}  // namespace hmcc::bench

@@ -4,25 +4,31 @@
 // rises from 33.33% to 88.89% while control overhead falls from 66.67% to
 // 11.11%. Pure packet arithmetic — every transaction carries 32 B of
 // control FLITs.
-#include "bench_util.hpp"
+#include "suite/benches.hpp"
 
 #include "hmc/packet.hpp"
 
-int main(int argc, char** argv) {
-  using namespace hmcc;
-  bench::BenchEnv env = bench::parse_env(argc, argv, "fig01");
+namespace hmcc::bench {
 
-  Table table({"request size (B)", "transferred (B)", "bandwidth efficiency",
-               "control overhead"});
-  for (std::uint32_t size = 16; size <= 256; size += 16) {
-    if (size > 128 && size != 256) continue;  // HMC 2.1 command gap
-    table.add_row({Table::fmt(std::uint64_t{size}),
-                   Table::fmt(std::uint64_t{size} +
-                              hmcspec::kControlBytesPerTransaction),
-                   Table::pct(hmc::bandwidth_efficiency(size)),
-                   Table::pct(hmc::control_overhead(size))});
-  }
-  bench::emit(table, env, "Figure 1: Bandwidth Efficiency of HMC Packets",
-              "paper endpoints: 33.33% @16B -> 88.89% @256B");
-  return 0;
+SuiteBench make_fig01() {
+  SuiteBench b;
+  b.name = "fig01";
+  b.title = "Figure 1: Bandwidth Efficiency of HMC Packets";
+  b.paper_note = "paper endpoints: 33.33% @16B -> 88.89% @256B";
+  b.format = [](const BenchEnv&, std::vector<std::any>&) {
+    Table table({"request size (B)", "transferred (B)",
+                 "bandwidth efficiency", "control overhead"});
+    for (std::uint32_t size = 16; size <= 256; size += 16) {
+      if (size > 128 && size != 256) continue;  // HMC 2.1 command gap
+      table.add_row({Table::fmt(std::uint64_t{size}),
+                     Table::fmt(std::uint64_t{size} +
+                                hmcspec::kControlBytesPerTransaction),
+                     Table::pct(hmc::bandwidth_efficiency(size)),
+                     Table::pct(hmc::control_overhead(size))});
+    }
+    return table;
+  };
+  return b;
 }
+
+}  // namespace hmcc::bench

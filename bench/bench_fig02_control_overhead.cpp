@@ -4,36 +4,44 @@
 // number of transactions and hence the bytes of control headers/tails
 // shipped across the links. We sweep total volumes and request sizes and
 // print the control bytes moved for each combination.
-#include "bench_util.hpp"
+#include "suite/benches.hpp"
 
 #include "hmc/packet.hpp"
 
-int main(int argc, char** argv) {
-  using namespace hmcc;
-  bench::BenchEnv env = bench::parse_env(argc, argv, "fig02");
+namespace hmcc::bench {
 
-  const std::uint64_t totals[] = {1ULL << 20, 16ULL << 20, 256ULL << 20,
-                                  1ULL << 30};
-  Table table({"total requested", "16B reqs", "32B reqs", "64B reqs",
-               "128B reqs", "256B reqs"});
-  auto human = [](std::uint64_t bytes) {
-    if (bytes >= (1ULL << 30)) {
-      return Table::fmt(static_cast<double>(bytes) / (1ULL << 30), 1) + " GB";
+SuiteBench make_fig02() {
+  SuiteBench b;
+  b.name = "fig02";
+  b.title = "Figure 2: Control Overhead vs Requested Data";
+  b.paper_note =
+      "control bytes moved for a fixed payload volume, by request "
+      "size (paper: 16B packets ship 16x the control of 256B)";
+  b.format = [](const BenchEnv&, std::vector<std::any>&) {
+    const std::uint64_t totals[] = {1ULL << 20, 16ULL << 20, 256ULL << 20,
+                                    1ULL << 30};
+    Table table({"total requested", "16B reqs", "32B reqs", "64B reqs",
+                 "128B reqs", "256B reqs"});
+    auto human = [](std::uint64_t bytes) {
+      if (bytes >= (1ULL << 30)) {
+        return Table::fmt(static_cast<double>(bytes) / (1ULL << 30), 1) +
+               " GB";
+      }
+      return Table::fmt(static_cast<double>(bytes) / (1ULL << 20), 1) + " MB";
+    };
+    for (std::uint64_t total : totals) {
+      std::vector<std::string> row{human(total)};
+      for (std::uint32_t size : {16u, 32u, 64u, 128u, 256u}) {
+        const std::uint64_t transactions = total / size;
+        const std::uint64_t control =
+            transactions * hmcspec::kControlBytesPerTransaction;
+        row.push_back(human(control));
+      }
+      table.add_row(row);
     }
-    return Table::fmt(static_cast<double>(bytes) / (1ULL << 20), 1) + " MB";
+    return table;
   };
-  for (std::uint64_t total : totals) {
-    std::vector<std::string> row{human(total)};
-    for (std::uint32_t size : {16u, 32u, 64u, 128u, 256u}) {
-      const std::uint64_t transactions = total / size;
-      const std::uint64_t control =
-          transactions * hmcspec::kControlBytesPerTransaction;
-      row.push_back(human(control));
-    }
-    table.add_row(row);
-  }
-  bench::emit(table, env, "Figure 2: Control Overhead vs Requested Data",
-              "control bytes moved for a fixed payload volume, by request "
-              "size (paper: 16B packets ship 16x the control of 256B)");
-  return 0;
+  return b;
 }
+
+}  // namespace hmcc::bench

@@ -11,12 +11,12 @@
 // in window-sized batches.
 #include <algorithm>
 
-#include "bench_util.hpp"
+#include "suite/benches.hpp"
+
 #include "coalescer/dmc_unit.hpp"
 
+namespace hmcc::bench {
 namespace {
-
-using namespace hmcc;
 
 /// Offline payload-granularity coalescing of a captured miss stream.
 struct PayloadAnalysis {
@@ -37,8 +37,9 @@ PayloadAnalysis analyze(const std::vector<coalescer::CoalescerRequest>& reqs,
   PayloadAnalysis out;
   for (std::size_t i = 0; i < reqs.size(); i += window) {
     const std::size_t end = std::min(reqs.size(), i + window);
-    std::vector<coalescer::CoalescerRequest> batch(reqs.begin() + static_cast<std::ptrdiff_t>(i),
-                                                   reqs.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<coalescer::CoalescerRequest> batch(
+        reqs.begin() + static_cast<std::ptrdiff_t>(i),
+        reqs.begin() + static_cast<std::ptrdiff_t>(end));
     std::stable_sort(batch.begin(), batch.end(),
                      [](const coalescer::CoalescerRequest& a,
                         const coalescer::CoalescerRequest& b) {
@@ -53,32 +54,33 @@ PayloadAnalysis analyze(const std::vector<coalescer::CoalescerRequest>& reqs,
   return out;
 }
 
+struct Fig09Row {
+  double raw_eff = 0;
+  double coal_eff = 0;
+};
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchEnv env = bench::parse_env(argc, argv, "fig09");
-
-  Table table({"benchmark", "raw efficiency", "coalesced efficiency",
-               "improvement"});
-  double sum_raw = 0;
-  double sum_coal = 0;
-  const auto& names = workloads::workload_names();
-  struct Row {
-    double raw_eff = 0;
-    double coal_eff = 0;
-  };
-  const std::vector<Row> rows =
-      env.runner().map<Row>(names.size(), [&](std::size_t i) {
-        const std::string& name = names[i];
+SuiteBench make_fig09() {
+  SuiteBench b;
+  b.name = "fig09";
+  b.title = "Figure 9: Bandwidth Efficiency, Raw vs Coalesced";
+  b.paper_note =
+      "paper: raw 7.43% avg, coalesced 27.73% avg (~4x); HPCG low "
+      "(20.02%) due to small payloads";
+  b.tasks = [](const BenchEnv& env) {
+    std::vector<SuiteTask> tasks;
+    for (const std::string& name : workloads::workload_names()) {
+      system::SystemConfig conv = env.base_config();
+      system::apply_mode(conv, system::CoalescerMode::kConventional);
+      tasks.push_back([name, conv, params = env.params] {
         // Raw series: conventional run, Equation (1) with actual payloads.
-        system::SystemConfig conv = env.base_config();
-        system::apply_mode(conv, system::CoalescerMode::kConventional);
-        const auto raw = system::run_workload(name, conv, env.params);
+        const auto raw = system::run_workload(name, conv, params);
 
         // Coalesced series: capture the miss stream of the same workload
         // and re-coalesce it at payload granularity.
         auto gen = workloads::make_workload(name);
-        workloads::WorkloadParams p = env.params;
+        workloads::WorkloadParams p = params;
         p.num_cores = conv.hierarchy.num_cores;
         const trace::MultiTrace mtrace = gen->generate(p);
         std::vector<coalescer::CoalescerRequest> stream;
@@ -87,23 +89,34 @@ int main(int argc, char** argv) {
                                     std::uint32_t) { stream.push_back(r); });
         (void)sys.run(mtrace);
         const PayloadAnalysis coal = analyze(stream, conv.coalescer.window);
-        return Row{raw.report.payload_bandwidth_efficiency(),
-                   coal.efficiency()};
+        return std::any(Fig09Row{raw.report.payload_bandwidth_efficiency(),
+                                 coal.efficiency()});
       });
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    const auto& [raw_eff, coal_eff] = rows[i];
-    sum_raw += raw_eff;
-    sum_coal += coal_eff;
-    table.add_row({names[i], Table::pct(raw_eff), Table::pct(coal_eff),
-                   Table::fmt(raw_eff > 0 ? coal_eff / raw_eff : 0.0, 2) +
+    }
+    return tasks;
+  };
+  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
+    Table table({"benchmark", "raw efficiency", "coalesced efficiency",
+                 "improvement"});
+    double sum_raw = 0;
+    double sum_coal = 0;
+    const auto& names = workloads::workload_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const auto& [raw_eff, coal_eff] = result_as<Fig09Row>(results[i]);
+      sum_raw += raw_eff;
+      sum_coal += coal_eff;
+      table.add_row({names[i], Table::pct(raw_eff), Table::pct(coal_eff),
+                     Table::fmt(raw_eff > 0 ? coal_eff / raw_eff : 0.0, 2) +
+                         "x"});
+    }
+    const double n = static_cast<double>(names.size());
+    table.add_row({"average", Table::pct(sum_raw / n),
+                   Table::pct(sum_coal / n),
+                   Table::fmt(sum_raw > 0 ? sum_coal / sum_raw : 0.0, 2) +
                        "x"});
-  }
-  const double n = static_cast<double>(names.size());
-  table.add_row({"average", Table::pct(sum_raw / n), Table::pct(sum_coal / n),
-                 Table::fmt(sum_raw > 0 ? sum_coal / sum_raw : 0.0, 2) + "x"});
-
-  bench::emit(table, env, "Figure 9: Bandwidth Efficiency, Raw vs Coalesced",
-              "paper: raw 7.43% avg, coalesced 27.73% avg (~4x); HPCG low "
-              "(20.02%) due to small payloads");
-  return 0;
+    return table;
+  };
+  return b;
 }
+
+}  // namespace hmcc::bench

@@ -5,67 +5,98 @@
 // 40.25% of the coalesced requests are 16 B loads — explaining why HPCG's
 // bandwidth efficiency (20.02%) trails its coalescing efficiency (42.35%).
 #include <algorithm>
+#include <cstdio>
 #include <map>
 
-#include "bench_util.hpp"
+#include "suite/benches.hpp"
+
 #include "coalescer/dmc_unit.hpp"
 
-int main(int argc, char** argv) {
-  using namespace hmcc;
-  bench::BenchEnv env = bench::parse_env(argc, argv, "fig10");
+namespace hmcc::bench {
+namespace {
 
-  system::SystemConfig cfg = env.base_config();
-  system::apply_mode(cfg, system::CoalescerMode::kConventional);
-  auto gen = workloads::make_workload("hpcg");
-  workloads::WorkloadParams p = env.params;
-  p.num_cores = cfg.hierarchy.num_cores;
-  const trace::MultiTrace mtrace = gen->generate(p);
-
-  std::vector<coalescer::CoalescerRequest> stream;
-  system::System sys(cfg);
-  sys.set_miss_hook([&stream](const coalescer::CoalescerRequest& r,
-                              std::uint32_t) { stream.push_back(r); });
-  (void)sys.run(mtrace);
-
-  // Payload-granularity coalescing in window-sized batches.
-  coalescer::CoalescerConfig ccfg;
-  ccfg.granularity = coalescer::Granularity::kPayload;
-  coalescer::DmcUnit dmc(ccfg);
+/// (size, is_load) histogram of the payload-coalesced HPCG miss stream.
+struct Fig10Histogram {
   std::map<std::pair<std::uint32_t, bool>, std::uint64_t> by_size_type;
   std::uint64_t total = 0;
-  for (std::size_t i = 0; i < stream.size(); i += ccfg.window) {
-    const std::size_t end = std::min(stream.size(), i + ccfg.window);
-    std::vector<coalescer::CoalescerRequest> batch(
-        stream.begin() + static_cast<std::ptrdiff_t>(i),
-        stream.begin() + static_cast<std::ptrdiff_t>(end));
-    std::stable_sort(batch.begin(), batch.end(),
-                     [](const coalescer::CoalescerRequest& a,
-                        const coalescer::CoalescerRequest& b) {
-                       return a.sort_key() < b.sort_key();
-                     });
-    for (const auto& pkt : dmc.coalesce(batch, 0).packets) {
-      ++by_size_type[{pkt.bytes, pkt.type == ReqType::kLoad}];
-      ++total;
+};
+
+}  // namespace
+
+SuiteBench make_fig10() {
+  SuiteBench b;
+  b.name = "fig10";
+  b.title = "Figure 10: Coalesced HMC Request Distribution of HPCG";
+  b.paper_note = "paper: 40.25% of coalesced requests are 16B loads";
+  b.tasks = [](const BenchEnv& env) {
+    system::SystemConfig cfg = env.base_config();
+    system::apply_mode(cfg, system::CoalescerMode::kConventional);
+    std::vector<SuiteTask> tasks;
+    tasks.push_back([cfg, params = env.params] {
+      auto gen = workloads::make_workload("hpcg");
+      workloads::WorkloadParams p = params;
+      p.num_cores = cfg.hierarchy.num_cores;
+      const trace::MultiTrace mtrace = gen->generate(p);
+
+      std::vector<coalescer::CoalescerRequest> stream;
+      system::System sys(cfg);
+      sys.set_miss_hook([&stream](const coalescer::CoalescerRequest& r,
+                                  std::uint32_t) { stream.push_back(r); });
+      (void)sys.run(mtrace);
+
+      // Payload-granularity coalescing in window-sized batches.
+      coalescer::CoalescerConfig ccfg;
+      ccfg.granularity = coalescer::Granularity::kPayload;
+      coalescer::DmcUnit dmc(ccfg);
+      Fig10Histogram hist;
+      for (std::size_t i = 0; i < stream.size(); i += ccfg.window) {
+        const std::size_t end = std::min(stream.size(), i + ccfg.window);
+        std::vector<coalescer::CoalescerRequest> batch(
+            stream.begin() + static_cast<std::ptrdiff_t>(i),
+            stream.begin() + static_cast<std::ptrdiff_t>(end));
+        std::stable_sort(batch.begin(), batch.end(),
+                         [](const coalescer::CoalescerRequest& a,
+                            const coalescer::CoalescerRequest& b) {
+                           return a.sort_key() < b.sort_key();
+                         });
+        for (const auto& pkt : dmc.coalesce(batch, 0).packets) {
+          ++hist.by_size_type[{pkt.bytes, pkt.type == ReqType::kLoad}];
+          ++hist.total;
+        }
+      }
+      return std::any(std::move(hist));
+    });
+    return tasks;
+  };
+  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
+    const auto& hist = result_as<Fig10Histogram>(results[0]);
+    Table table({"request", "count", "share"});
+    for (const auto& [key, count] : hist.by_size_type) {
+      const auto [bytes, is_load] = key;
+      const double share = hist.total ? static_cast<double>(count) /
+                                            static_cast<double>(hist.total)
+                                      : 0;
+      table.add_row({Table::fmt(std::uint64_t{bytes}) + "B " +
+                         (is_load ? "load" : "store"),
+                     Table::fmt(count), Table::pct(share)});
     }
-  }
-
-  Table table({"request", "count", "share"});
-  double share_16b_loads = 0;
-  for (const auto& [key, count] : by_size_type) {
-    const auto [bytes, is_load] = key;
-    const double share =
-        total ? static_cast<double>(count) / static_cast<double>(total) : 0;
-    if (bytes == 16 && is_load) share_16b_loads = share;
-    table.add_row({Table::fmt(std::uint64_t{bytes}) + "B " +
-                       (is_load ? "load" : "store"),
-                   Table::fmt(count), Table::pct(share)});
-  }
-  table.add_row({"total", Table::fmt(total), "100.00%"});
-
-  bench::emit(table, env,
-              "Figure 10: Coalesced HMC Request Distribution of HPCG",
-              "paper: 40.25% of coalesced requests are 16B loads");
-  std::printf("16B-load share: %.2f%% (paper: 40.25%%)\n",
-              share_16b_loads * 100.0);
-  return 0;
+    table.add_row({"total", Table::fmt(hist.total), "100.00%"});
+    return table;
+  };
+  b.epilogue = [](const BenchEnv&, std::vector<std::any>& results) {
+    const auto& hist = result_as<Fig10Histogram>(results[0]);
+    double share_16b_loads = 0;
+    for (const auto& [key, count] : hist.by_size_type) {
+      const auto [bytes, is_load] = key;
+      if (bytes == 16 && is_load && hist.total) {
+        share_16b_loads =
+            static_cast<double>(count) / static_cast<double>(hist.total);
+      }
+    }
+    std::printf("16B-load share: %.2f%% (paper: 40.25%%)\n",
+                share_16b_loads * 100.0);
+  };
+  return b;
 }
+
+}  // namespace hmcc::bench

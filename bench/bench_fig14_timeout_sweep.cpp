@@ -5,46 +5,53 @@
 // rises once the sorting-network wait dominates at T=28 — except FT, whose
 // deep merging keeps it insensitive. "It is ideal to equate the timeout
 // with the average coalescing latency."
-#include "bench_util.hpp"
+#include "suite/benches.hpp"
 
-int main(int argc, char** argv) {
-  using namespace hmcc;
-  bench::BenchEnv env = bench::parse_env(argc, argv, "fig14");
+namespace hmcc::bench {
 
-  const Cycle timeouts[] = {16, 20, 24, 28};
-  Table table({"benchmark", "T=16 (ns)", "T=20 (ns)", "T=24 (ns)",
-               "T=28 (ns)"});
-  const auto& names = workloads::workload_names();
-  std::vector<system::SweepRunner::Point> points;
-  for (const std::string& name : names) {
-    for (std::size_t t = 0; t < 4; ++t) {
-      system::SystemConfig full = env.base_config();
-      full.coalescer.timeout = timeouts[t];
-      system::apply_mode(full, system::CoalescerMode::kFull);
-      points.push_back({name, full, env.params});
+SuiteBench make_fig14() {
+  SuiteBench b;
+  b.name = "fig14";
+  b.title = "Figure 14: Coalescer Latency vs Timeout (16..28 cycles)";
+  b.paper_note = "paper: latency flat for T<=24, rises at T=28 (except FT)";
+  b.tasks = [](const BenchEnv& env) {
+    const Cycle timeouts[] = {16, 20, 24, 28};
+    std::vector<system::SweepRunner::Point> points;
+    for (const std::string& name : workloads::workload_names()) {
+      for (std::size_t t = 0; t < 4; ++t) {
+        system::SystemConfig full = env.base_config();
+        full.coalescer.timeout = timeouts[t];
+        system::apply_mode(full, system::CoalescerMode::kFull);
+        points.push_back({name, full, env.params});
+      }
     }
-  }
-  const auto results = env.runner().run_points(points);
-  std::vector<double> avg(4, 0.0);
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    std::vector<std::string> row{names[i]};
-    for (std::size_t t = 0; t < 4; ++t) {
-      const auto& r = results[4 * i + t];
-      const double ns =
-          r.report.coalescer.front_latency.mean() * arch::kNsPerCycle;
-      avg[t] += ns;
-      row.push_back(Table::fmt(ns, 2));
+    return run_point_tasks(std::move(points));
+  };
+  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
+    Table table({"benchmark", "T=16 (ns)", "T=20 (ns)", "T=24 (ns)",
+                 "T=28 (ns)"});
+    const auto& names = workloads::workload_names();
+    std::vector<double> avg(4, 0.0);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      std::vector<std::string> row{names[i]};
+      for (std::size_t t = 0; t < 4; ++t) {
+        const auto& r = result_as<system::RunResult>(results[4 * i + t]);
+        const double ns =
+            r.report.coalescer.front_latency.mean() * arch::kNsPerCycle;
+        avg[t] += ns;
+        row.push_back(Table::fmt(ns, 2));
+      }
+      table.add_row(row);
     }
-    table.add_row(row);
-  }
-  std::vector<std::string> arow{"average"};
-  for (std::size_t t = 0; t < 4; ++t) {
-    arow.push_back(Table::fmt(avg[t] / static_cast<double>(names.size()), 2));
-  }
-  table.add_row(arow);
-
-  bench::emit(table, env,
-              "Figure 14: Coalescer Latency vs Timeout (16..28 cycles)",
-              "paper: latency flat for T<=24, rises at T=28 (except FT)");
-  return 0;
+    std::vector<std::string> arow{"average"};
+    for (std::size_t t = 0; t < 4; ++t) {
+      arow.push_back(
+          Table::fmt(avg[t] / static_cast<double>(names.size()), 2));
+    }
+    table.add_row(arow);
+    return table;
+  };
+  return b;
 }
+
+}  // namespace hmcc::bench

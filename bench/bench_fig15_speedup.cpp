@@ -3,52 +3,59 @@
 // Paper: 13.14% average runtime improvement over the conventional MSHR
 // baseline; FT 25.43% and SparseLU 22.21% are the best cases and the
 // majority of benchmarks improve by over 10%.
-#include "bench_util.hpp"
+#include "suite/benches.hpp"
 
-int main(int argc, char** argv) {
-  using namespace hmcc;
-  bench::BenchEnv env = bench::parse_env(argc, argv, "fig15");
+namespace hmcc::bench {
 
-  Table table({"benchmark", "baseline cycles", "coalescer cycles",
-               "mem-phase speedup", "mem fraction", "app improvement"});
-  double sum = 0;
-  const auto& names = workloads::workload_names();
-  std::vector<system::SweepRunner::Point> points;
-  for (const std::string& name : names) {
-    system::SystemConfig conv = env.base_config();
-    system::apply_mode(conv, system::CoalescerMode::kConventional);
-    points.push_back({name, conv, env.params});
+SuiteBench make_fig15() {
+  SuiteBench b;
+  b.name = "fig15";
+  b.title = "Figure 15: Performance Improvement";
+  b.paper_note = "paper: 13.14% average; FT 25.43%, SparseLU 22.21% best";
+  b.tasks = [](const BenchEnv& env) {
+    std::vector<system::SweepRunner::Point> points;
+    for (const std::string& name : workloads::workload_names()) {
+      system::SystemConfig conv = env.base_config();
+      system::apply_mode(conv, system::CoalescerMode::kConventional);
+      points.push_back({name, conv, env.params});
 
-    system::SystemConfig full = env.base_config();
-    system::apply_mode(full, system::CoalescerMode::kFull);
-    points.push_back({name, full, env.params});
-  }
-  const auto results = env.runner().run_points(points);
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    const std::string& name = names[i];
-    const auto& base = results[2 * i];
-    const auto& coal = results[2 * i + 1];
+      system::SystemConfig full = env.base_config();
+      system::apply_mode(full, system::CoalescerMode::kFull);
+      points.push_back({name, full, env.params});
+    }
+    return run_point_tasks(std::move(points));
+  };
+  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
+    Table table({"benchmark", "baseline cycles", "coalescer cycles",
+                 "mem-phase speedup", "mem fraction", "app improvement"});
+    double sum = 0;
+    const auto& names = workloads::workload_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const std::string& name = names[i];
+      const auto& base = result_as<system::RunResult>(results[2 * i]);
+      const auto& coal = result_as<system::RunResult>(results[2 * i + 1]);
 
-    const double mem_speedup =
-        coal.report.runtime > 0
-            ? static_cast<double>(base.report.runtime) /
-                  static_cast<double>(coal.report.runtime)
-            : 1.0;
-    // The paper reports whole-application runtimes; our traces replay only
-    // the memory-intensive phases. Compose via Amdahl with the benchmark's
-    // documented memory-phase fraction (see EXPERIMENTS.md).
-    const double f = workloads::make_workload(name)->memory_phase_fraction();
-    const double app_gain = 1.0 / ((1.0 - f) + f / mem_speedup) - 1.0;
-    sum += app_gain;
-    table.add_row({name, Table::fmt(base.report.runtime),
-                   Table::fmt(coal.report.runtime),
-                   Table::fmt(mem_speedup, 2) + "x", Table::fmt(f, 2),
-                   Table::pct(app_gain)});
-  }
-  table.add_row({"average", "", "", "", "",
-                 Table::pct(sum / static_cast<double>(names.size()))});
-
-  bench::emit(table, env, "Figure 15: Performance Improvement",
-              "paper: 13.14% average; FT 25.43%, SparseLU 22.21% best");
-  return 0;
+      const double mem_speedup =
+          coal.report.runtime > 0
+              ? static_cast<double>(base.report.runtime) /
+                    static_cast<double>(coal.report.runtime)
+              : 1.0;
+      // The paper reports whole-application runtimes; our traces replay only
+      // the memory-intensive phases. Compose via Amdahl with the benchmark's
+      // documented memory-phase fraction (see EXPERIMENTS.md).
+      const double f = workloads::make_workload(name)->memory_phase_fraction();
+      const double app_gain = 1.0 / ((1.0 - f) + f / mem_speedup) - 1.0;
+      sum += app_gain;
+      table.add_row({name, Table::fmt(base.report.runtime),
+                     Table::fmt(coal.report.runtime),
+                     Table::fmt(mem_speedup, 2) + "x", Table::fmt(f, 2),
+                     Table::pct(app_gain)});
+    }
+    table.add_row({"average", "", "", "", "",
+                   Table::pct(sum / static_cast<double>(names.size()))});
+    return table;
+  };
+  return b;
 }
+
+}  // namespace hmcc::bench

@@ -9,13 +9,19 @@
 //   csv=<path>    CSV output path ("" disables)
 //   threads=<n>   sweep-point fan-out (default 0 = hardware_concurrency)
 //
+// Malformed arguments (no '=') and unknown keys are warned about on stderr:
+// a typo'd "thread=8" must not silently run single-threaded. The platform
+// key list lives in system/config_bridge.hpp.
+//
 // Sweep-shaped benches run their (config, workload) points through
 // system::SweepRunner: points execute in parallel but results are collected
 // in input order, so tables and CSVs are identical for any threads= value.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
@@ -42,10 +48,49 @@ struct BenchEnv {
   system::SweepRunner runner() const { return system::SweepRunner(threads); }
 };
 
-inline BenchEnv parse_env(int argc, char** argv, const char* bench_name,
-                          std::uint64_t default_accesses = 15000) {
+/// Keys consumed by BenchEnv itself (on top of the platform keys).
+inline const std::vector<std::string>& bench_cli_keys() {
+  static const std::vector<std::string> keys = {"accesses", "seed", "csv",
+                                                "threads"};
+  return keys;
+}
+
+/// Warn on stderr for every malformed argv token and for every parsed key
+/// not present in @p known (pass extra harness-specific keys through
+/// @p extra_known). Warnings never abort: the benches still run with
+/// whatever was understood, but the typo is visible.
+inline void warn_unrecognized(const Config& cli,
+                              const std::vector<std::string>& rejected,
+                              const std::vector<std::string>& extra_known = {}) {
+  for (const std::string& tok : rejected) {
+    std::fprintf(stderr,
+                 "warning: ignoring malformed argument '%s' (expected "
+                 "key=value)\n",
+                 tok.c_str());
+  }
+  auto known = [&](const std::string& key) {
+    const auto& platform = system::platform_cli_keys();
+    const auto& bench = bench_cli_keys();
+    return std::find(platform.begin(), platform.end(), key) != platform.end() ||
+           std::find(bench.begin(), bench.end(), key) != bench.end() ||
+           std::find(extra_known.begin(), extra_known.end(), key) !=
+               extra_known.end();
+  };
+  for (const auto& [key, value] : cli.values()) {
+    if (!known(key)) {
+      std::fprintf(stderr, "warning: unknown knob '%s=%s' ignored\n",
+                   key.c_str(), value.c_str());
+    }
+  }
+}
+
+/// Build a BenchEnv from an already-parsed Config. The CSV path defaults to
+/// "<bench_name>.csv"; suite and standalone drivers share this so a bench
+/// produces byte-identical output either way.
+inline BenchEnv make_env(const Config& cli, const char* bench_name,
+                         std::uint64_t default_accesses = 15000) {
   BenchEnv env;
-  env.cli.parse_args(argc, argv);
+  env.cli = cli;
   env.params.accesses_per_core =
       env.cli.get_uint("accesses", default_accesses);
   env.params.seed = env.cli.get_uint("seed", 1);
@@ -53,6 +98,15 @@ inline BenchEnv parse_env(int argc, char** argv, const char* bench_name,
       env.cli.get_string("csv", std::string(bench_name) + ".csv");
   env.threads = static_cast<unsigned>(env.cli.get_uint("threads", 0));
   return env;
+}
+
+inline BenchEnv parse_env(int argc, char** argv, const char* bench_name,
+                          std::uint64_t default_accesses = 15000) {
+  Config cli;
+  std::vector<std::string> rejected;
+  cli.parse_args(argc, argv, &rejected);
+  warn_unrecognized(cli, rejected);
+  return make_env(cli, bench_name, default_accesses);
 }
 
 inline void emit(const Table& table, const BenchEnv& env,

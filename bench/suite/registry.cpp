@@ -1,0 +1,61 @@
+#include "suite/registry.hpp"
+
+#include "suite/benches.hpp"
+
+namespace hmcc::bench {
+
+const std::vector<SuiteBench>& suite_benches() {
+  static const std::vector<SuiteBench> benches = {
+      make_fig01(),
+      make_fig02(),
+      make_fig08(),
+      make_fig09(),
+      make_fig10(),
+      make_fig11(),
+      make_fig12(),
+      make_fig13(),
+      make_fig14(),
+      make_fig15(),
+      make_ablation_pipeline(),
+      make_ablation_hmc_paging(),
+  };
+  return benches;
+}
+
+const SuiteBench* find_bench(const std::string& name) {
+  for (const SuiteBench& b : suite_benches()) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<SuiteTask> run_point_tasks(
+    std::vector<system::SweepRunner::Point> points) {
+  std::vector<SuiteTask> tasks;
+  tasks.reserve(points.size());
+  for (system::SweepRunner::Point& p : points) {
+    tasks.push_back([p = std::move(p)] {
+      return std::any(system::run_workload(p.workload, p.cfg, p.params));
+    });
+  }
+  return tasks;
+}
+
+int run_standalone(const SuiteBench& bench, int argc, char** argv) {
+  Config cli;
+  std::vector<std::string> rejected;
+  cli.parse_args(argc, argv, &rejected);
+  warn_unrecognized(cli, rejected);
+  const BenchEnv env = make_env(cli, bench.name.c_str(),
+                                bench.default_accesses);
+  std::vector<SuiteTask> tasks =
+      bench.tasks ? bench.tasks(env) : std::vector<SuiteTask>{};
+  std::vector<std::any> results = env.runner().map<std::any>(
+      tasks.size(), [&](std::size_t i) { return tasks[i](); });
+  const Table table = bench.format(env, results);
+  emit(table, env, bench.title.c_str(), bench.paper_note.c_str());
+  if (bench.epilogue) bench.epilogue(env, results);
+  return 0;
+}
+
+}  // namespace hmcc::bench

@@ -1,0 +1,73 @@
+// Suite-level bench registry: every figure/ablation bench declares WHAT it
+// computes (a list of independent tasks plus a row formatter), and the
+// drivers decide HOW to schedule it.
+//
+// Two drivers share the registry:
+//  - standalone_main.cpp builds one bench binary per figure (bench_fig08,
+//    ...) that fans its own tasks out over SweepRunner, exactly like the
+//    pre-suite binaries did;
+//  - suite_main.cpp (bench_suite) submits ALL registered benches' tasks to
+//    ONE persistent thread pool and collects each bench's results in input
+//    order as its futures resolve.
+//
+// Because a bench's tasks are pure functions of its BenchEnv and results are
+// always collected per bench in input order, the table/CSV output of a bench
+// is byte-identical whichever driver ran it and whatever threads= was — the
+// suite removes the per-binary join barriers, not determinism.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace hmcc::bench {
+
+/// One independently schedulable unit of a bench's work. Tasks of one bench
+/// (and of different benches) must not share mutable state: the suite runs
+/// them concurrently in one process.
+using SuiteTask = std::function<std::any()>;
+
+struct SuiteBench {
+  std::string name;        ///< CSV stem and suite filter key, e.g. "fig08"
+  std::string title;       ///< table heading
+  std::string paper_note;  ///< the paper's reference numbers
+  std::uint64_t default_accesses = 15000;  ///< accesses= default
+  /// Build this bench's tasks for @p env. May be empty (pure-arithmetic
+  /// figures compute everything in format()).
+  std::function<std::vector<SuiteTask>(const BenchEnv&)> tasks;
+  /// Assemble the figure table from the ordered task results (results[i] is
+  /// tasks[i]'s return value).
+  std::function<Table(const BenchEnv&, std::vector<std::any>&)> format;
+  /// Optional extra stdout after the table is emitted (e.g. fig10's
+  /// 16B-load share line).
+  std::function<void(const BenchEnv&, std::vector<std::any>&)> epilogue;
+};
+
+/// All registered benches, in figure order (fig01..fig15, then ablations).
+const std::vector<SuiteBench>& suite_benches();
+
+/// Registry lookup by SuiteBench::name; nullptr when unknown.
+const SuiteBench* find_bench(const std::string& name);
+
+/// Wrap sweep points into tasks that run run_workload — the shape most
+/// figure benches share.
+std::vector<SuiteTask> run_point_tasks(
+    std::vector<system::SweepRunner::Point> points);
+
+/// Fetch a task result in format(): results are RunResult for
+/// run_point_tasks benches, bench-defined structs otherwise.
+template <typename T>
+const T& result_as(const std::any& result) {
+  return std::any_cast<const T&>(result);
+}
+
+/// Standalone driver: parse @p argv into the bench's env, fan the tasks out
+/// over SweepRunner (threads= knob), format, emit. Returns a process exit
+/// code.
+int run_standalone(const SuiteBench& bench, int argc, char** argv);
+
+}  // namespace hmcc::bench

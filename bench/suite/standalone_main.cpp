@@ -1,0 +1,21 @@
+// Entry point for the per-figure bench binaries: each executable is this
+// file compiled with -DHMCC_BENCH_NAME="<name>" and linked against the
+// bench library, so a single bench runs exactly as it does inside
+// bench_suite (same tasks, same formatter, same CSV defaults).
+#include <cstdio>
+
+#include "suite/registry.hpp"
+
+#ifndef HMCC_BENCH_NAME
+#error "compile with -DHMCC_BENCH_NAME=\"<registered bench name>\""
+#endif
+
+int main(int argc, char** argv) {
+  const hmcc::bench::SuiteBench* bench =
+      hmcc::bench::find_bench(HMCC_BENCH_NAME);
+  if (bench == nullptr) {
+    std::fprintf(stderr, "bench '%s' is not registered\n", HMCC_BENCH_NAME);
+    return 1;
+  }
+  return hmcc::bench::run_standalone(*bench, argc, argv);
+}

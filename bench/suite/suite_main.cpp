@@ -1,0 +1,159 @@
+// bench_suite: the paper's full evaluation as ONE scheduling problem.
+//
+// Running the figure binaries back to back wastes wall-clock twice: every
+// binary joins its own thread pool before the next one starts (a straggler
+// point idles all other workers), and every process re-pays thread spawn.
+// This driver submits ALL registered benches' tasks to one persistent
+// common::ThreadPool up front, then collects and formats each bench's
+// results in registration order as its futures resolve — bench N's table is
+// printed while bench N+1's points are still computing.
+//
+// Output is byte-identical to running the standalone binaries one by one
+// (same envs, same per-bench input-order collection), for any threads=.
+//
+// Usage: bench_suite [--smoke] [--list] [key=value ...]
+//   --smoke         tiny workloads (accesses=500 default) for CI sanity
+//   --list          print registered bench names and exit
+//   only=a,b,c      run only the named benches
+//   csvdir=DIR      write CSVs into DIR instead of the working directory
+//   nocsv=1         disable CSV output entirely
+//   threads=N       pool size (0 = hardware_concurrency), plus every
+//                   bench/platform knob from bench_util.hpp
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "suite/registry.hpp"
+
+namespace {
+
+using namespace hmcc;
+using namespace hmcc::bench;
+
+constexpr std::uint64_t kSmokeAccesses = 500;
+
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Flags first; everything else is key=value shared by all benches.
+  bool smoke = false;
+  bool list = false;
+  std::vector<const char*> kv_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else {
+      kv_args.push_back(argv[i]);
+    }
+  }
+  if (list) {
+    for (const SuiteBench& b : suite_benches()) {
+      std::printf("%s\n", b.name.c_str());
+    }
+    return 0;
+  }
+
+  Config cli;
+  std::vector<std::string> rejected;
+  cli.parse_args(static_cast<int>(kv_args.size()), kv_args.data(), &rejected);
+  warn_unrecognized(cli, rejected, {"only", "csvdir", "nocsv"});
+
+  // Select benches.
+  std::vector<const SuiteBench*> selected;
+  const std::string only = cli.get_string("only", "");
+  if (only.empty()) {
+    for (const SuiteBench& b : suite_benches()) selected.push_back(&b);
+  } else {
+    for (const std::string& name : split_csv_list(only)) {
+      const SuiteBench* b = find_bench(name);
+      if (b == nullptr) {
+        std::fprintf(stderr, "error: unknown bench '%s' in only= (see "
+                             "--list)\n",
+                     name.c_str());
+        return 2;
+      }
+      selected.push_back(b);
+    }
+  }
+
+  const bool nocsv = cli.get_bool("nocsv", false);
+  const std::string csvdir = cli.get_string("csvdir", "");
+
+  // Build every bench's env and task list, then submit the whole suite to
+  // one pool before collecting anything: there is no join barrier between
+  // benches, only each bench's ordered future collection.
+  struct Scheduled {
+    const SuiteBench* bench;
+    BenchEnv env;
+    std::vector<std::future<std::any>> futures;
+  };
+  const auto threads =
+      static_cast<unsigned>(cli.get_uint("threads", 0));
+  ThreadPool pool(threads);
+  std::vector<Scheduled> scheduled;
+  scheduled.reserve(selected.size());
+  std::size_t total_tasks = 0;
+  for (const SuiteBench* b : selected) {
+    Scheduled s{b,
+                make_env(cli, b->name.c_str(),
+                         smoke ? kSmokeAccesses : b->default_accesses),
+                {}};
+    if (nocsv) {
+      s.env.csv_path.clear();
+    } else if (!csvdir.empty() && !cli.has("csv")) {
+      s.env.csv_path = csvdir + "/" + b->name + ".csv";
+    }
+    std::vector<SuiteTask> tasks =
+        b->tasks ? b->tasks(s.env) : std::vector<SuiteTask>{};
+    s.futures.reserve(tasks.size());
+    for (SuiteTask& t : tasks) s.futures.push_back(pool.submit(std::move(t)));
+    total_tasks += s.futures.size();
+    scheduled.push_back(std::move(s));
+  }
+  std::fprintf(stderr, "bench_suite: %zu benches, %zu points, %u threads\n",
+               scheduled.size(), total_tasks, pool.threads());
+
+  int failures = 0;
+  for (Scheduled& s : scheduled) {
+    try {
+      std::vector<std::any> results;
+      results.reserve(s.futures.size());
+      for (std::future<std::any>& f : s.futures) results.push_back(f.get());
+      const Table table = s.bench->format(s.env, results);
+      emit(table, s.env, s.bench->title.c_str(),
+           s.bench->paper_note.c_str());
+      if (s.bench->epilogue) s.bench->epilogue(s.env, results);
+    } catch (const std::exception& e) {
+      // Drain this bench's remaining futures so later benches still report.
+      for (std::future<std::any>& f : s.futures) {
+        if (f.valid()) {
+          try {
+            (void)f.get();
+          } catch (...) {
+          }
+        }
+      }
+      std::fprintf(stderr, "error: bench %s failed: %s\n",
+                   s.bench->name.c_str(), e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,8 +1,21 @@
 #include "common/config.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace hmcc {
+namespace {
+
+/// strtoull happily parses "-1" by wrapping it to 2^64-1 — a user typing
+/// threads=-1 must get the fallback, not 18 quintillion threads.
+bool has_leading_minus(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i < s.size() && s[i] == '-';
+}
+
+}  // namespace
 
 bool Config::set_from_string(const std::string& assignment) {
   const auto eq = assignment.find('=');
@@ -22,25 +35,32 @@ std::int64_t Config::get_int(const std::string& key,
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(it->second.c_str(), &end, 0);
-  return (end && *end == '\0') ? v : fallback;
+  if (errno == ERANGE) return fallback;  // clamped, not the written value
+  return (end && *end == '\0' && end != it->second.c_str()) ? v : fallback;
 }
 
 std::uint64_t Config::get_uint(const std::string& key,
                                std::uint64_t fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  if (has_leading_minus(it->second)) return fallback;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(it->second.c_str(), &end, 0);
-  return (end && *end == '\0') ? v : fallback;
+  if (errno == ERANGE) return fallback;
+  return (end && *end == '\0' && end != it->second.c_str()) ? v : fallback;
 }
 
 double Config::get_double(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
-  return (end && *end == '\0') ? v : fallback;
+  if (errno == ERANGE) return fallback;  // over-/underflowed to HUGE_VAL/0
+  return (end && *end == '\0' && end != it->second.c_str()) ? v : fallback;
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {
@@ -52,10 +72,15 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   return fallback;
 }
 
-std::size_t Config::parse_args(int argc, const char* const* argv) {
+std::size_t Config::parse_args(int argc, const char* const* argv,
+                               std::vector<std::string>* rejected) {
   std::size_t accepted = 0;
   for (int i = 1; i < argc; ++i) {
-    if (set_from_string(argv[i])) ++accepted;
+    if (set_from_string(argv[i])) {
+      ++accepted;
+    } else if (rejected) {
+      rejected->emplace_back(argv[i]);
+    }
   }
   return accepted;
 }

@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace hmcc {
 
@@ -28,6 +29,10 @@ class Config {
 
   [[nodiscard]] std::string get_string(const std::string& key,
                                        const std::string& fallback) const;
+  /// Typed getters return @p fallback for missing keys, trailing junk
+  /// ("12abc"), and values outside the representable range (ERANGE);
+  /// get_uint additionally rejects negative input instead of letting
+  /// strtoull wrap it ("threads=-1" must not become 2^64-1 threads).
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
   [[nodiscard]] std::uint64_t get_uint(const std::string& key,
@@ -36,9 +41,12 @@ class Config {
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
-  /// Parse argv-style overrides (entries not containing '=' are ignored and
-  /// reported via the return count of accepted assignments).
-  std::size_t parse_args(int argc, const char* const* argv);
+  /// Parse argv-style overrides; returns the number of accepted
+  /// assignments. Entries not of the form "key=value" are skipped and, when
+  /// @p rejected is non-null, appended to it so callers can warn instead of
+  /// silently dropping a typo'd knob.
+  std::size_t parse_args(int argc, const char* const* argv,
+                         std::vector<std::string>* rejected = nullptr);
 
   [[nodiscard]] const std::map<std::string, std::string>& values() const {
     return values_;

@@ -1,0 +1,78 @@
+#include "common/thread_pool.hpp"
+
+namespace hmcc {
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t max_queued)
+    : max_queued_(max_queued) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;  // hardware_concurrency may report 0
+  workers_.reserve(threads);
+  try {
+    for (unsigned t = 0; t < threads; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Join guard: a mid-spawn failure (EAGAIN, resource limits) must not
+    // leak the workers already running — destroying a joinable std::thread
+    // calls std::terminate.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::enqueue(Job job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (max_queued_ > 0) {
+      space_available_.wait(
+          lock, [this] { return queue_.size() < max_queued_ || stopping_; });
+    }
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return !queue_.empty() || stopping_; });
+    // Shutdown still drains the queue: every submitted future completes.
+    if (queue_.empty()) return;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    space_available_.notify_one();
+    job();  // packaged_task: exceptions land in the caller's future
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace hmcc

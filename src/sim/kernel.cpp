@@ -9,7 +9,7 @@ namespace hmcc {
 void Kernel::schedule_at(Cycle when, Callback fn) {
   assert(when >= now_ && "cannot schedule into the past");
   ++next_seq_;
-  if (when - now_ < kRingSize) {
+  if (when - now_ < ring_span_) {
     if (when > now_ && when < scan_hint_) scan_hint_ = when;
     bucket(when).push_back(std::move(fn));
     ++ring_count_;
@@ -26,7 +26,7 @@ Kernel::Next Kernel::find_next() {
       ring_next = Next{Source::kRing, now_};
     } else {
       Cycle c = std::max(scan_hint_, now_ + 1);
-      const Cycle end = now_ + kRingSize;
+      const Cycle end = now_ + ring_span_;
       while (c < end && bucket(c).empty()) ++c;
       scan_hint_ = c;
       assert(c < end && "ring_count_ > 0 but no bucket holds events");

@@ -25,6 +25,7 @@
 // has warmed up.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -37,12 +38,47 @@ class Kernel {
  public:
   using Callback = InlineCallback;
 
-  /// Ring coverage: events up to this many cycles ahead take the O(1) bucket
-  /// path. Power of two; sized past the largest routine delay in the
-  /// simulator (DRAM row cycles + link serialization, a few hundred cycles).
+  /// Default ring coverage: events up to this many cycles ahead take the
+  /// O(1) bucket path. Generous for the paper platform (its largest routine
+  /// delay — DRAM row cycles + link serialization — is a few hundred
+  /// cycles); configs with slower timing should size the ring explicitly
+  /// via ring_size_for().
   static constexpr std::size_t kRingSize = 4096;
 
-  Kernel() : ring_(kRingSize) {}
+  /// Bounds for ring_size_for(): below kMinRingSize the per-lap bookkeeping
+  /// outweighs the bucket win; above kMaxRingSize the (mostly empty) bucket
+  /// vectors cost more memory than letting rare far events take the
+  /// overflow heap.
+  static constexpr std::size_t kMinRingSize = 256;
+  static constexpr std::size_t kMaxRingSize = std::size_t{1} << 16;
+
+  /// @p ring_size must be a power of two. Events scheduled further than
+  /// ring_size cycles ahead stay correct — they route through the overflow
+  /// min-heap — so the size tunes constant factors, never results.
+  explicit Kernel(std::size_t ring_size = kRingSize)
+      : ring_(ring_size),
+        ring_span_(static_cast<Cycle>(ring_size)),
+        ring_mask_(static_cast<Cycle>(ring_size) - 1) {
+    assert(ring_size >= 2 && (ring_size & (ring_size - 1)) == 0 &&
+           "ring size must be a power of two");
+  }
+
+  /// Smallest power-of-two ring (clamped to [kMinRingSize, kMaxRingSize])
+  /// that keeps every delay <= @p worst_routine_delay on the O(1) bucket
+  /// path. Systems pass their config's worst-case unloaded round trip here
+  /// instead of guessing at compile time.
+  [[nodiscard]] static constexpr std::size_t ring_size_for(
+      Cycle worst_routine_delay) noexcept {
+    std::size_t size = kMinRingSize;
+    while (size < kMaxRingSize &&
+           static_cast<Cycle>(size) <= worst_routine_delay) {
+      size <<= 1;
+    }
+    return size;
+  }
+
+  /// Per-cycle buckets in the ring (power of two).
+  [[nodiscard]] std::size_t ring_size() const noexcept { return ring_.size(); }
 
   /// Current simulation time (CPU cycles).
   [[nodiscard]] Cycle now() const noexcept { return now_; }
@@ -73,8 +109,6 @@ class Kernel {
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
 
  private:
-  static constexpr Cycle kRingMask = static_cast<Cycle>(kRingSize) - 1;
-
   struct OverflowEvent {
     Cycle when;
     std::uint64_t seq;
@@ -96,7 +130,7 @@ class Kernel {
   };
 
   [[nodiscard]] std::vector<Callback>& bucket(Cycle cycle) noexcept {
-    return ring_[static_cast<std::size_t>(cycle & kRingMask)];
+    return ring_[static_cast<std::size_t>(cycle & ring_mask_)];
   }
 
   /// Locate the earliest pending event without firing it. Advances
@@ -110,10 +144,12 @@ class Kernel {
   /// Fire the event described by @p n (must not be kNone).
   void fire(const Next& n);
 
-  /// Per-cycle buckets; ring_[c & kRingMask] holds the events of the unique
+  /// Per-cycle buckets; ring_[c & ring_mask_] holds the events of the unique
   /// in-window cycle congruent to c. Vectors keep their capacity across
   /// clear(), so a warmed-up kernel schedules without allocating.
   std::vector<std::vector<Callback>> ring_;
+  Cycle ring_span_;  ///< ring_.size() as a Cycle, for window arithmetic
+  Cycle ring_mask_;  ///< ring_span_ - 1
   std::vector<OverflowEvent> overflow_;
   Cycle now_ = 0;
   /// Consume position inside the bucket at now_ (events before pos_ fired).

@@ -49,6 +49,30 @@ struct SystemConfig {
   CoalescerMode mode = CoalescerMode::kFull;
 };
 
+/// Upper bound on the delay of any ROUTINE event the simulator schedules
+/// under @p cfg: the unloaded round trip of a maximum-size packet (link
+/// serialization both ways, SerDes + crossbar both ways, a worst-case DRAM
+/// row cycle) plus the coalescer's window timeout and its sort + merge
+/// pipeline time for one full window. Queueing can push individual events
+/// past this bound — those take the kernel's overflow heap, which is
+/// correct, just not O(1) — so the bound sizes the fast path, it does not
+/// limit what can be simulated.
+[[nodiscard]] inline Cycle worst_case_event_delay(
+    const SystemConfig& cfg) noexcept {
+  const auto& h = cfg.hmc;
+  const auto& c = cfg.coalescer;
+  const Cycle flits =
+      static_cast<Cycle>(c.max_packet_bytes / hmcspec::kFlitBytes) + 2;
+  const Cycle link_round_trip =
+      2 * (h.serdes_latency + h.xbar_latency) + 2 * flits * h.cycles_per_flit;
+  const Cycle dram_row_cycle =
+      h.vault_ctrl_latency + h.t_rcd + h.t_cl + h.t_rp + h.t_ras +
+      h.t_column_burst * static_cast<Cycle>(c.max_packet_bytes / 32);
+  const Cycle coalescer_window =
+      c.timeout + 4 * c.tau * static_cast<Cycle>(c.window);
+  return link_round_trip + dram_row_cycle + coalescer_window;
+}
+
 /// Derive the coalescer flag set for @p mode (leaves other knobs intact).
 inline void apply_mode(SystemConfig& cfg, CoalescerMode mode) {
   cfg.mode = mode;

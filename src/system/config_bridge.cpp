@@ -99,4 +99,18 @@ SystemConfig config_from_cli(const Config& cli) {
   return cfg;
 }
 
+const std::vector<std::string>& platform_cli_keys() {
+  static const std::vector<std::string> keys = {
+      "cores",      "llc_mshrs",      "mlp",        "issue_interval",
+      "l1_kb",      "l1_ways",        "l2_kb",      "l2_ways",
+      "llc_kb",     "llc_ways",       "line_bytes", "window",
+      "tau",        "timeout",        "max_subentries", "bypass",
+      "pipeline",   "hmc_gb",         "vaults",     "banks",
+      "links",      "block_bytes",    "max_packet", "closed_page",
+      "t_rcd",      "t_cl",           "t_rp",       "t_ras",
+      "serdes",     "xbar",           "cycles_per_flit", "mode",
+  };
+  return keys;
+}
+
 }  // namespace hmcc::system

@@ -23,4 +23,10 @@ bool overlay_config(const Config& cli, SystemConfig& cfg);
 /// Convenience: the paper platform with @p cli overlaid.
 [[nodiscard]] SystemConfig config_from_cli(const Config& cli);
 
+/// Every key overlay_config consumes (the list in the header comment).
+/// Harnesses union this with their own keys to flag typo'd knobs: a
+/// "thread=8" that matches nothing would otherwise silently run with the
+/// default.
+[[nodiscard]] const std::vector<std::string>& platform_cli_keys();
+
 }  // namespace hmcc::system

@@ -3,17 +3,24 @@
 // Every figure of the paper is a sweep over independent (SystemConfig,
 // workload, seed) points; each point builds its own System, Workload and RNG
 // state, so points share nothing mutable and can run on separate host
-// threads. SweepRunner fans a list of points out over a thread pool and
-// collects results INTO INPUT ORDER, so a sweep's output (tables, CSV rows)
-// is byte-identical regardless of thread count — parallelism changes
-// wall-clock, never results.
+// threads. SweepRunner fans a list of points out over a persistent
+// common::ThreadPool and collects results INTO INPUT ORDER, so a sweep's
+// output (tables, CSV rows) is byte-identical regardless of thread count —
+// parallelism changes wall-clock, never results.
+//
+// The pool lives as long as the runner: repeated run_points()/map() calls on
+// one runner reuse the same workers instead of paying a thread-spawn/join
+// round per sweep (the bench-suite driver runs every figure's points through
+// a single runner this way).
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
 #include "workloads/workload.hpp"
@@ -22,7 +29,8 @@ namespace hmcc::system {
 
 class SweepRunner {
  public:
-  /// @p threads = 0 selects std::thread::hardware_concurrency().
+  /// @p threads = 0 selects std::thread::hardware_concurrency(). The worker
+  /// pool is spawned once here (none at all for a single-threaded runner).
   explicit SweepRunner(unsigned threads = 0);
 
   /// Worker threads this runner fans out over (>= 1).
@@ -42,8 +50,9 @@ class SweepRunner {
 
   /// Generic ordered fan-out: invoke @p fn(i) for every i in [0, count)
   /// across the pool. @p fn must be safe to call concurrently for distinct
-  /// indices. The first exception thrown by any invocation is rethrown on
-  /// the calling thread after all workers join.
+  /// indices. If an invocation throws, no NEW index is started afterwards
+  /// (in-flight ones finish) and the first exception is rethrown on the
+  /// calling thread once every started invocation has completed.
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& fn) const;
 
@@ -56,8 +65,17 @@ class SweepRunner {
     return out;
   }
 
+  /// The underlying pool; nullptr for a single-threaded runner (which runs
+  /// everything inline on the caller's thread).
+  [[nodiscard]] const std::shared_ptr<ThreadPool>& pool() const noexcept {
+    return pool_;
+  }
+
  private:
   unsigned threads_;
+  /// Shared so SweepRunner stays cheaply copyable (BenchEnv::runner()
+  /// returns by value); copies fan out over the same workers.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace hmcc::system

@@ -10,6 +10,7 @@ namespace hmcc::system {
 
 System::System(SystemConfig cfg)
     : cfg_(std::move(cfg)),
+      kernel_(Kernel::ring_size_for(worst_case_event_delay(cfg_))),
       hierarchy_(cfg_.hierarchy),
       hmc_(kernel_, cfg_.hmc) {
   apply_mode(cfg_, cfg_.mode);  // keep flags consistent with the mode

@@ -208,6 +208,54 @@ TEST(DmcLine, PropertyRandomWindowsPreserveCoverage) {
 }
 
 // ---------------------------------------------------------------------------
+// Compare-slot accounting at run breaks (§4.1 timing model)
+// ---------------------------------------------------------------------------
+//
+// A run can end two ways and they charge differently: a TYPE mismatch is
+// detected before the candidate enters the compare stage (no charge), while
+// an ADDRESS mismatch is discovered by the compare itself — the slot is
+// charged, then refunded because re-opening the run reuses the same hardware
+// slot. Net effect: both two-request windows below finish at start + 3*tau.
+
+TEST(DmcLine, AddressMismatchRefundsItsCompareSlot) {
+  const CoalescerConfig cfg = line_cfg();
+  DmcUnit dmc(cfg);
+  auto in = sorted({req(0x1000), req(0x3000)});  // same type, far apart
+  const DmcResult out = dmc.coalesce(in, 7);
+  EXPECT_EQ(out.packets.size(), 2u);
+  EXPECT_EQ(out.merge_ops, 0u);
+  // fill + opener + (compare - refund) + second opener = 3 tau
+  EXPECT_EQ(out.finished_at, 7 + 3 * cfg.tau);
+}
+
+TEST(DmcLine, TypeMismatchNeverEntersTheCompareStage) {
+  const CoalescerConfig cfg = line_cfg();
+  DmcUnit dmc(cfg);
+  // Adjacent lines, different types: would be contiguous if types matched.
+  auto in = sorted({req(0x1000, ReqType::kLoad), req(0x1040, ReqType::kStore)});
+  const DmcResult out = dmc.coalesce(in, 7);
+  EXPECT_EQ(out.packets.size(), 2u);
+  EXPECT_EQ(out.merge_ops, 0u);
+  // fill + opener + second opener: identical cost to the refunded
+  // address-mismatch above even though no compare was ever issued.
+  EXPECT_EQ(out.finished_at, 7 + 3 * cfg.tau);
+}
+
+TEST(DmcLine, RunBreakAfterMergeChargesExactly) {
+  const CoalescerConfig cfg = line_cfg();
+  DmcUnit dmc(cfg);
+  auto in = sorted({req(0x1000), req(0x1040), req(0x3000)});
+  const DmcResult out = dmc.coalesce(in, 0);
+  ASSERT_EQ(out.packets.size(), 2u);
+  EXPECT_EQ(out.packets[0].addr, 0x1000u);
+  EXPECT_EQ(out.packets[0].bytes, 128u);
+  EXPECT_EQ(out.packets[1].addr, 0x3000u);
+  EXPECT_EQ(out.merge_ops, 1u);
+  // fill + opener + compare + merge + (compare - refund) + opener = 5 tau
+  EXPECT_EQ(out.finished_at, 5 * cfg.tau);
+}
+
+// ---------------------------------------------------------------------------
 // Payload granularity (Figures 9-10 accounting mode)
 // ---------------------------------------------------------------------------
 
@@ -280,6 +328,53 @@ TEST(DmcPayload, OverlappingExtentsMerge) {
                     req(0x3010, ReqType::kLoad, 32)});
   const DmcResult out = dmc.coalesce(in, 0);
   ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].bytes, 48u);
+}
+
+TEST(DmcPayload, SplitTailMergesWithNextBlockExtent) {
+  DmcUnit dmc(payload_cfg());
+  // 0x10F0+32 straddles the 0x1100 block boundary: its head stays in the
+  // first block and its tail (0x1100, 16 B) must seed a new extent that the
+  // following request then joins.
+  auto in = sorted({req(0x10F0, ReqType::kLoad, 32),
+                    req(0x1110, ReqType::kLoad, 16)});
+  const DmcResult out = dmc.coalesce(in, 0);
+  ASSERT_EQ(out.packets.size(), 2u);
+  EXPECT_EQ(out.packets[0].addr, 0x10F0u);
+  EXPECT_EQ(out.packets[0].bytes, 16u);
+  EXPECT_EQ(out.packets[1].addr, 0x1100u);
+  EXPECT_EQ(out.packets[1].bytes, 32u);
+  std::uint64_t payload = 0;
+  for (const auto& p : out.packets) payload += p.payload_bytes();
+  EXPECT_EQ(payload, 48u);
+}
+
+TEST(DmcPayload, RoundingSpillReAnchorsAtBlockStart) {
+  DmcUnit dmc(payload_cfg());
+  // 10 x 16 B at 0x2060..0x20F0: the 160 B extent rounds to 256 B, which
+  // would spill past 0x2100 if anchored at 0x2060 — the packet must re-anchor
+  // at the block start 0x2000.
+  std::vector<CoalescerRequest> in;
+  for (int i = 0; i < 10; ++i) {
+    in.push_back(req(0x2060 + 16u * static_cast<Addr>(i), ReqType::kLoad, 16));
+  }
+  const DmcResult out = dmc.coalesce(sorted(in), 0);
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].addr, 0x2000u);
+  EXPECT_EQ(out.packets[0].bytes, 256u);
+  EXPECT_EQ(out.packets[0].payload_bytes(), 160u);
+}
+
+TEST(DmcPayload, ExactFitKeepsTheExtentAnchor) {
+  DmcUnit dmc(payload_cfg());
+  // 48 B at 0x2040 is a legal HMC size and fits its block from the extent
+  // base, so no re-anchoring happens.
+  auto in = sorted({req(0x2040, ReqType::kLoad, 16),
+                    req(0x2050, ReqType::kLoad, 16),
+                    req(0x2060, ReqType::kLoad, 16)});
+  const DmcResult out = dmc.coalesce(in, 0);
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].addr, 0x2040u);
   EXPECT_EQ(out.packets[0].bytes, 48u);
 }
 

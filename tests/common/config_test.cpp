@@ -46,5 +46,46 @@ TEST(Config, ParseArgs) {
   EXPECT_EQ(c.get_string("b", ""), "two");
 }
 
+TEST(Config, ParseArgsReportsRejectedTokens) {
+  const char* argv[] = {"prog", "a=1", "thread8", "=oops", "b=2"};
+  Config c;
+  std::vector<std::string> rejected;
+  EXPECT_EQ(c.parse_args(5, argv, &rejected), 2u);
+  ASSERT_EQ(rejected.size(), 2u);
+  EXPECT_EQ(rejected[0], "thread8");
+  EXPECT_EQ(rejected[1], "=oops");
+}
+
+TEST(Config, GetUintRejectsNegativeInput) {
+  Config c;
+  c.set("threads", "-1");
+  c.set("spaced", "  -3");
+  // strtoull would happily wrap "-1" to 2^64-1; the getter must not.
+  EXPECT_EQ(c.get_uint("threads", 4), 4u);
+  EXPECT_EQ(c.get_uint("spaced", 9), 9u);
+  c.set("ok", "17");
+  EXPECT_EQ(c.get_uint("ok", 0), 17u);
+}
+
+TEST(Config, GettersRejectOutOfRangeValues) {
+  Config c;
+  c.set("huge_u", "99999999999999999999999999");   // > 2^64-1
+  c.set("huge_i", "99999999999999999999999999");   // > 2^63-1
+  c.set("tiny_i", "-99999999999999999999999999");  // < -2^63
+  c.set("huge_d", "1e999");                        // > DBL_MAX
+  EXPECT_EQ(c.get_uint("huge_u", 5), 5u);
+  EXPECT_EQ(c.get_int("huge_i", -2), -2);
+  EXPECT_EQ(c.get_int("tiny_i", 3), 3);
+  EXPECT_DOUBLE_EQ(c.get_double("huge_d", 0.25), 0.25);
+}
+
+TEST(Config, GettersRejectEmptyValues) {
+  Config c;
+  c.set("empty", "");
+  EXPECT_EQ(c.get_int("empty", 11), 11);
+  EXPECT_EQ(c.get_uint("empty", 12), 12u);
+  EXPECT_DOUBLE_EQ(c.get_double("empty", 1.5), 1.5);
+}
+
 }  // namespace
 }  // namespace hmcc

@@ -185,6 +185,57 @@ TEST(Kernel, SameCycleFifoAcrossManyEvents) {
 }
 
 // ---------------------------------------------------------------------------
+// Ring sizing: the bucket ring is a constructor parameter now (the System
+// sizes it from the platform's worst-case event delay); any power-of-two
+// ring must produce the same schedule, only the fast-path coverage changes.
+
+TEST(Kernel, CustomRingSizeIsObservable) {
+  EXPECT_EQ(Kernel().ring_size(), Kernel::kRingSize);
+  EXPECT_EQ(Kernel(64).ring_size(), 64u);
+  EXPECT_EQ(Kernel(1 << 16).ring_size(), std::size_t{1} << 16);
+}
+
+TEST(Kernel, RingSizeForCoversTheDelayAndClamps) {
+  // Smallest power of two STRICTLY greater than the worst routine delay
+  // (a delay equal to the ring span would wrap onto the current bucket),
+  // clamped to [kMinRingSize, kMaxRingSize].
+  EXPECT_EQ(Kernel::ring_size_for(0), Kernel::kMinRingSize);
+  EXPECT_EQ(Kernel::ring_size_for(255), 256u);
+  EXPECT_EQ(Kernel::ring_size_for(256), 512u);
+  EXPECT_EQ(Kernel::ring_size_for(596), 1024u);
+  EXPECT_EQ(Kernel::ring_size_for(100000), Kernel::kMaxRingSize);
+  for (Cycle d : {Cycle{1}, Cycle{300}, Cycle{4095}, Cycle{65535}}) {
+    const std::size_t size = Kernel::ring_size_for(d);
+    EXPECT_EQ(size & (size - 1), 0u) << d;
+    EXPECT_GE(size, Kernel::kMinRingSize);
+    EXPECT_LE(size, Kernel::kMaxRingSize);
+    if (size < Kernel::kMaxRingSize) EXPECT_GT(static_cast<Cycle>(size), d);
+  }
+}
+
+TEST(Kernel, TinyRingMatchesDefaultRingSchedule) {
+  // Same event tree on a 64-bucket ring (lots of overflow traffic) and the
+  // default ring: identical firing order is required.
+  auto run_with = [](std::size_t ring_size) {
+    Kernel k(ring_size);
+    std::vector<std::pair<int, Cycle>> log;
+    std::function<void(int)> fire = [&](int id) {
+      log.emplace_back(id, k.now());
+      if (id < 200) {
+        k.schedule(static_cast<Cycle>((id * 37) % 500), [&fire, id] {
+          fire(id + 2);
+        });
+      }
+    };
+    k.schedule_at(0, [&fire] { fire(0); });
+    k.schedule_at(1, [&fire] { fire(1); });
+    k.run();
+    return log;
+  };
+  EXPECT_EQ(run_with(64), run_with(Kernel::kRingSize));
+}
+
+// ---------------------------------------------------------------------------
 // Randomized differential test: the production Kernel must fire the exact
 // same (event id, cycle) sequence as the reference heap scheduler for
 // arbitrary self-expanding event trees mixing ring and overflow delays.

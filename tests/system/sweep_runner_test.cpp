@@ -105,5 +105,37 @@ TEST(SweepRunner, ZeroSelectsHardwareConcurrency) {
   SweepRunner(5).for_each_index(0, [](std::size_t) { FAIL(); });
 }
 
+TEST(SweepRunner, FailureStopsNewIndicesFromStarting) {
+  // After a throw no fresh index may be claimed: with 2 workers at most
+  // threads-1 in-flight indices can still run after the failing one.
+  SweepRunner runner(2);
+  std::atomic<int> started{0};
+  try {
+    runner.for_each_index(1000, [&](std::size_t i) {
+      ++started;
+      if (i == 0) throw std::runtime_error("early");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(started.load(), 1000);
+}
+
+TEST(SweepRunner, PoolPersistsAcrossSweepsAndCopies) {
+  SweepRunner runner(4);
+  ASSERT_NE(runner.pool(), nullptr);
+  const ThreadPool* workers = runner.pool().get();
+  // Repeated sweeps on one runner (and on copies of it — BenchEnv::runner()
+  // returns by value) reuse the same worker pool instead of respawning.
+  const SweepRunner copy = runner;
+  for (int round = 0; round < 3; ++round) {
+    const auto out = copy.map<std::size_t>(16, [](std::size_t i) { return i; });
+    ASSERT_EQ(out.size(), 16u);
+    EXPECT_EQ(copy.pool().get(), workers);
+  }
+  // A single-threaded runner never spawns workers at all.
+  EXPECT_EQ(SweepRunner(1).pool(), nullptr);
+}
+
 }  // namespace
 }  // namespace hmcc::system

@@ -227,5 +227,29 @@ TEST(Runner, UnknownWorkloadThrows) {
                std::invalid_argument);
 }
 
+TEST(System, KernelRingIsSizedFromTheConfig) {
+  // The event-kernel ring is sized at System construction from the config's
+  // worst-case routine delay, not a compile-time constant.
+  SystemConfig cfg = paper_system_config();
+  System paper(cfg);
+  EXPECT_EQ(paper.kernel().ring_size(),
+            Kernel::ring_size_for(worst_case_event_delay(cfg)));
+  EXPECT_GT(static_cast<Cycle>(paper.kernel().ring_size()),
+            worst_case_event_delay(cfg));
+
+  // A much slower platform must get a bigger ring.
+  SystemConfig slow = cfg;
+  slow.hmc.serdes_latency = 5000;
+  EXPECT_GT(worst_case_event_delay(slow), worst_case_event_delay(cfg));
+  System slow_sys(slow);
+  EXPECT_GT(slow_sys.kernel().ring_size(), paper.kernel().ring_size());
+  EXPECT_LE(slow_sys.kernel().ring_size(), Kernel::kMaxRingSize);
+
+  // Sizing must not change simulated results.
+  const auto a = System(cfg).run(sequential_trace(2, 200));
+  const auto b = System(cfg).run(sequential_trace(2, 200));
+  EXPECT_EQ(a.runtime, b.runtime);
+}
+
 }  // namespace
 }  // namespace hmcc::system
