@@ -15,18 +15,28 @@ SuiteBench make_fig01() {
   b.name = "fig01";
   b.title = "Figure 1: Bandwidth Efficiency of HMC Packets";
   b.paper_note = "paper endpoints: 33.33% @16B -> 88.89% @256B";
-  b.format = [](const BenchEnv&, std::vector<std::any>&) {
-    Table table({"request size (B)", "transferred (B)",
-                 "bandwidth efficiency", "control overhead"});
-    for (std::uint32_t size = 16; size <= 256; size += 16) {
-      if (size > 128 && size != 256) continue;  // HMC 2.1 command gap
-      table.add_row({Table::fmt(std::uint64_t{size}),
-                     Table::fmt(std::uint64_t{size} +
-                                hmcspec::kControlBytesPerTransaction),
-                     Table::pct(hmc::bandwidth_efficiency(size)),
-                     Table::pct(hmc::control_overhead(size))});
-    }
-    return table;
+  // Pure packet arithmetic, but still expressed as one task so every
+  // registered bench goes through the same task->format pipeline (the suite
+  // scheduler and the service daemon never special-case empty task lists).
+  b.tasks = [](const BenchEnv&) {
+    std::vector<SuiteTask> tasks;
+    tasks.push_back([] {
+      Table table({"request size (B)", "transferred (B)",
+                   "bandwidth efficiency", "control overhead"});
+      for (std::uint32_t size = 16; size <= 256; size += 16) {
+        if (size > 128 && size != 256) continue;  // HMC 2.1 command gap
+        table.add_row({Table::fmt(std::uint64_t{size}),
+                       Table::fmt(std::uint64_t{size} +
+                                  hmcspec::kControlBytesPerTransaction),
+                       Table::pct(hmc::bandwidth_efficiency(size)),
+                       Table::pct(hmc::control_overhead(size))});
+      }
+      return std::any(std::move(table));
+    });
+    return tasks;
+  };
+  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
+    return result_as<Table>(results[0]);
   };
   return b;
 }

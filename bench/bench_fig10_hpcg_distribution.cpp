@@ -93,8 +93,10 @@ SuiteBench make_fig10() {
             static_cast<double>(count) / static_cast<double>(hist.total);
       }
     }
-    std::printf("16B-load share: %.2f%% (paper: 40.25%%)\n",
-                share_16b_loads * 100.0);
+    char line[96];
+    std::snprintf(line, sizeof line, "16B-load share: %.2f%% (paper: 40.25%%)\n",
+                  share_16b_loads * 100.0);
+    return std::string(line);
   };
   return b;
 }

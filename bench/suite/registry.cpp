@@ -41,6 +41,53 @@ std::vector<SuiteTask> run_point_tasks(
   return tasks;
 }
 
+const std::vector<KnobInfo>& suite_knob_info() {
+  static const std::vector<KnobInfo> knobs = {
+      // Harness knobs (bench_util.hpp).
+      {"accesses", "uint", "bench", "CPU accesses per core"},
+      {"seed", "uint", "bench", "workload RNG seed"},
+      {"csv", "string", "bench", "CSV output path (\"\" disables)"},
+      {"threads", "uint", "bench",
+       "sweep fan-out (0 = hardware concurrency)"},
+      // Platform knobs (system/config_bridge.cpp), same order as
+      // platform_cli_keys().
+      {"cores", "uint", "platform", "CPU cores"},
+      {"llc_mshrs", "uint", "platform", "LLC MSHR entries"},
+      {"mlp", "uint", "platform", "max outstanding misses per core"},
+      {"issue_interval", "uint", "platform", "cycles between issues"},
+      {"l1_kb", "uint", "platform", "L1 size (KiB)"},
+      {"l1_ways", "uint", "platform", "L1 associativity"},
+      {"l2_kb", "uint", "platform", "L2 size (KiB)"},
+      {"l2_ways", "uint", "platform", "L2 associativity"},
+      {"llc_kb", "uint", "platform", "LLC size (KiB)"},
+      {"llc_ways", "uint", "platform", "LLC associativity"},
+      {"line_bytes", "uint", "platform", "cache line bytes"},
+      {"window", "uint", "platform", "coalescing window n (power of two)"},
+      {"tau", "uint", "platform", "coalescing threshold tau"},
+      {"timeout", "uint", "platform", "coalescer timeout (cycles)"},
+      {"max_subentries", "uint", "platform", "dynamic MSHR subentries"},
+      {"bypass", "bool", "platform", "enable coalescer bypass"},
+      {"pipeline", "enum", "platform", "pipeline shape: stage|step"},
+      {"hmc_gb", "uint", "platform", "HMC capacity (GiB)"},
+      {"vaults", "uint", "platform", "HMC vaults (power of two)"},
+      {"banks", "uint", "platform", "banks per vault"},
+      {"links", "uint", "platform", "HMC links"},
+      {"block_bytes", "uint", "platform", "HMC block addressing bytes"},
+      {"max_packet", "uint", "platform", "max packet payload bytes"},
+      {"closed_page", "bool", "platform", "closed-page policy"},
+      {"t_rcd", "uint", "platform", "DRAM tRCD (cycles)"},
+      {"t_cl", "uint", "platform", "DRAM tCL (cycles)"},
+      {"t_rp", "uint", "platform", "DRAM tRP (cycles)"},
+      {"t_ras", "uint", "platform", "DRAM tRAS (cycles)"},
+      {"serdes", "uint", "platform", "SerDes latency (cycles)"},
+      {"xbar", "uint", "platform", "crossbar latency (cycles)"},
+      {"cycles_per_flit", "uint", "platform", "link cycles per FLIT"},
+      {"mode", "enum", "platform",
+       "datapath: none|conventional|dmc-only|coalescer"},
+  };
+  return knobs;
+}
+
 int run_standalone(const SuiteBench& bench, int argc, char** argv) {
   Config cli;
   std::vector<std::string> rejected;
@@ -54,7 +101,7 @@ int run_standalone(const SuiteBench& bench, int argc, char** argv) {
       tasks.size(), [&](std::size_t i) { return tasks[i](); });
   const Table table = bench.format(env, results);
   emit(table, env, bench.title.c_str(), bench.paper_note.c_str());
-  if (bench.epilogue) bench.epilogue(env, results);
+  if (bench.epilogue) std::fputs(bench.epilogue(env, results).c_str(), stdout);
   return 0;
 }
 

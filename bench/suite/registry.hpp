@@ -42,10 +42,26 @@ struct SuiteBench {
   /// Assemble the figure table from the ordered task results (results[i] is
   /// tasks[i]'s return value).
   std::function<Table(const BenchEnv&, std::vector<std::any>&)> format;
-  /// Optional extra stdout after the table is emitted (e.g. fig10's
-  /// 16B-load share line).
-  std::function<void(const BenchEnv&, std::vector<std::any>&)> epilogue;
+  /// Optional extra output after the table (e.g. fig10's 16B-load share
+  /// line). Returns the text rather than printing it so non-stdout drivers
+  /// (the bench-service daemon) can capture it into the job payload.
+  std::function<std::string(const BenchEnv&, std::vector<std::any>&)>
+      epilogue;
 };
+
+/// Machine-readable description of one accepted knob, served by the
+/// bench-service daemon's GET /benches so clients can build job requests
+/// without reading header comments.
+struct KnobInfo {
+  std::string name;   ///< the key= spelling, e.g. "accesses"
+  std::string kind;   ///< "uint" | "bool" | "enum" | "string"
+  std::string scope;  ///< "bench" (harness) or "platform" (SystemConfig)
+  std::string doc;    ///< one-line description
+};
+
+/// Every knob a bench accepts: the harness keys (accesses, seed, ...) plus
+/// every platform key overlay_config() consumes, in a stable order.
+const std::vector<KnobInfo>& suite_knob_info();
 
 /// All registered benches, in figure order (fig01..fig15, then ablations).
 const std::vector<SuiteBench>& suite_benches();

@@ -1,0 +1,74 @@
+#include "suite/service_adapter.hpp"
+
+#include <any>
+#include <utility>
+
+namespace hmcc::bench {
+
+system::JobOutput run_bench_job(const SuiteBench& bench,
+                                const Config& overrides,
+                                const system::JobContext& ctx) {
+  BenchEnv env = make_env(overrides, bench.name.c_str(),
+                          bench.default_accesses);
+  // Service jobs never write files; the CSV rows travel in the payload.
+  env.csv_path.clear();
+
+  ctx.checkpoint();
+  std::vector<SuiteTask> tasks =
+      bench.tasks ? bench.tasks(env) : std::vector<SuiteTask>{};
+  // The checkpoint before each task is the cooperative timeout/cancel
+  // boundary: a timed-out job stops claiming new points, in-flight points
+  // finish (SweepRunner's failure path), and the JobManager maps the
+  // JobTimeoutError that surfaces here to JobState::kTimeout.
+  std::vector<std::any> results = ctx.runner().map<std::any>(
+      tasks.size(), [&](std::size_t i) {
+        ctx.checkpoint();
+        return tasks[i]();
+      });
+
+  ctx.checkpoint();
+  const Table table = bench.format(env, results);
+  system::JobOutput out;
+  out.text = "=== " + bench.title + " ===\n" + bench.paper_note + "\n" +
+             table.to_ascii();
+  if (bench.epilogue) out.text += bench.epilogue(env, results);
+  out.csv = table.to_csv();
+  return out;
+}
+
+std::vector<service::ServiceBench> service_benches() {
+  std::vector<service::ServiceBench> out;
+  const auto& benches = suite_benches();
+  out.reserve(benches.size());
+  for (const SuiteBench& b : benches) {
+    service::ServiceBench sb;
+    sb.name = b.name;
+    sb.metadata = service::json::Object{
+        {"name", b.name},
+        {"title", b.title},
+        {"paper_note", b.paper_note},
+        {"default_accesses",
+         static_cast<std::int64_t>(b.default_accesses)},
+    };
+    sb.run = [&b](const Config& overrides, const system::JobContext& ctx) {
+      return run_bench_job(b, overrides, ctx);
+    };
+    out.push_back(std::move(sb));
+  }
+  return out;
+}
+
+service::json::Value knob_metadata_json() {
+  service::json::Array knobs;
+  for (const KnobInfo& k : suite_knob_info()) {
+    knobs.push_back(service::json::Object{
+        {"name", k.name},
+        {"kind", k.kind},
+        {"scope", k.scope},
+        {"doc", k.doc},
+    });
+  }
+  return knobs;
+}
+
+}  // namespace hmcc::bench

@@ -8,8 +8,13 @@
 // results in registration order as its futures resolve — bench N's table is
 // printed while bench N+1's points are still computing.
 //
+// Tasks are SUBMITTED in longest-processing-time order (estimated as task
+// count x accesses per bench), so the heaviest benches start first and a
+// straggler point doesn't idle the pool at the end of the suite.
+//
 // Output is byte-identical to running the standalone binaries one by one
-// (same envs, same per-bench input-order collection), for any threads=.
+// (same envs, same per-bench input-order collection, LPT only reorders the
+// work queue), for any threads=.
 //
 // Usage: bench_suite [--smoke] [--list] [key=value ...]
 //   --smoke         tiny workloads (accesses=500 default) for CI sanity
@@ -19,9 +24,11 @@
 //   nocsv=1         disable CSV output entirely
 //   threads=N       pool size (0 = hardware_concurrency), plus every
 //                   bench/platform knob from bench_util.hpp
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -102,6 +109,7 @@ int main(int argc, char** argv) {
   struct Scheduled {
     const SuiteBench* bench;
     BenchEnv env;
+    std::vector<SuiteTask> tasks;
     std::vector<std::future<std::any>> futures;
   };
   const auto threads =
@@ -114,18 +122,41 @@ int main(int argc, char** argv) {
     Scheduled s{b,
                 make_env(cli, b->name.c_str(),
                          smoke ? kSmokeAccesses : b->default_accesses),
+                {},
                 {}};
     if (nocsv) {
       s.env.csv_path.clear();
     } else if (!csvdir.empty() && !cli.has("csv")) {
       s.env.csv_path = csvdir + "/" + b->name + ".csv";
     }
-    std::vector<SuiteTask> tasks =
-        b->tasks ? b->tasks(s.env) : std::vector<SuiteTask>{};
-    s.futures.reserve(tasks.size());
-    for (SuiteTask& t : tasks) s.futures.push_back(pool.submit(std::move(t)));
-    total_tasks += s.futures.size();
+    s.tasks = b->tasks ? b->tasks(s.env) : std::vector<SuiteTask>{};
+    total_tasks += s.tasks.size();
     scheduled.push_back(std::move(s));
+  }
+
+  // Longest-processing-time submission order: heavy benches enter the queue
+  // first so a straggler point never sits behind the whole suite on a wide
+  // machine. Cost is estimated as task count x accesses (every task of a
+  // figure is one sweep point over roughly `accesses` simulated requests).
+  // Only the SUBMISSION order changes — collection and output below stay in
+  // selection order, so stdout and CSVs are byte-identical to the
+  // registration-order schedule.
+  std::vector<std::size_t> submit_order(scheduled.size());
+  std::iota(submit_order.begin(), submit_order.end(), std::size_t{0});
+  auto estimated_cost = [&](std::size_t i) {
+    const Scheduled& s = scheduled[i];
+    return static_cast<std::uint64_t>(s.tasks.size()) *
+           s.env.params.accesses_per_core;
+  };
+  std::stable_sort(submit_order.begin(), submit_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return estimated_cost(a) > estimated_cost(b);
+                   });
+  for (std::size_t idx : submit_order) {
+    Scheduled& s = scheduled[idx];
+    s.futures.reserve(s.tasks.size());
+    for (SuiteTask& t : s.tasks) s.futures.push_back(pool.submit(std::move(t)));
+    s.tasks.clear();
   }
   std::fprintf(stderr, "bench_suite: %zu benches, %zu points, %u threads\n",
                scheduled.size(), total_tasks, pool.threads());
@@ -139,7 +170,9 @@ int main(int argc, char** argv) {
       const Table table = s.bench->format(s.env, results);
       emit(table, s.env, s.bench->title.c_str(),
            s.bench->paper_note.c_str());
-      if (s.bench->epilogue) s.bench->epilogue(s.env, results);
+      if (s.bench->epilogue) {
+        std::fputs(s.bench->epilogue(s.env, results).c_str(), stdout);
+      }
     } catch (const std::exception& e) {
       // Drain this bench's remaining futures so later benches still report.
       for (std::future<std::any>& f : s.futures) {

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the bench-service daemon (hmc_coalescerd):
+# boot on an ephemeral port, run one real bench job over HTTP, submit a
+# second job and SIGTERM mid-flight — the daemon must drain it and exit 0.
+#
+# Usage: scripts/service_smoke.sh [path-to-hmc_coalescerd]
+set -euo pipefail
+
+DAEMON="${1:-build/src/service/hmc_coalescerd}"
+if [[ ! -x "$DAEMON" ]]; then
+  echo "error: daemon binary not found at $DAEMON" >&2
+  exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+"$DAEMON" port=0 threads=2 job_workers=1 max_queued_jobs=4 \
+  > "$WORKDIR/daemon.out" 2> "$WORKDIR/daemon.err" &
+DAEMON_PID=$!
+
+# The daemon prints "hmc_coalescerd listening on http://127.0.0.1:<port>".
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's#.*listening on http://[0-9.]*:\([0-9]*\).*#\1#p' \
+          "$WORKDIR/daemon.out")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "error: daemon died during startup" >&2
+    cat "$WORKDIR/daemon.err" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "error: no listening port announced" >&2; exit 1; }
+BASE="http://127.0.0.1:$PORT"
+echo "daemon up on $BASE (pid $DAEMON_PID)"
+
+fail() { echo "error: $1" >&2; cat "$WORKDIR/daemon.err" >&2; exit 1; }
+
+# 1. Health and bench listing.
+HEALTH="$(curl -fsS "$BASE/healthz")"
+grep -q '"status":"ok"' <<<"$HEALTH" || fail "bad /healthz: $HEALTH"
+BENCHES="$(curl -fsS "$BASE/benches")"
+grep -q '"fig08"' <<<"$BENCHES" || fail "fig08 missing from /benches"
+grep -q '"knobs"' <<<"$BENCHES" || fail "knob metadata missing from /benches"
+
+# 2. Submit a small real job and poll it to completion.
+SUBMIT="$(curl -fsS -X POST "$BASE/jobs" \
+  -d '{"bench": "fig10", "config": {"accesses": 500}, "timeout_ms": 120000}')"
+JOB_ID="$(sed -n 's/.*"id":"\([0-9]*\)".*/\1/p' <<<"$SUBMIT")"
+[[ -n "$JOB_ID" ]] || fail "no job id in submit response: $SUBMIT"
+echo "submitted job $JOB_ID"
+
+STATE=""
+for _ in $(seq 1 600); do
+  STATUS="$(curl -fsS "$BASE/jobs/$JOB_ID")"
+  STATE="$(sed -n 's/.*"state":"\([a-z]*\)".*/\1/p' <<<"$STATUS")"
+  [[ "$STATE" == "done" ]] && break
+  [[ "$STATE" == "failed" || "$STATE" == "timeout" ]] && \
+    fail "job $JOB_ID reached $STATE: $STATUS"
+  sleep 0.1
+done
+[[ "$STATE" == "done" ]] || fail "job $JOB_ID never finished (state=$STATE)"
+grep -q '16B-load share' <<<"$STATUS" || fail "payload missing bench text"
+grep -q '"csv":"' <<<"$STATUS" || fail "payload missing CSV"
+echo "job $JOB_ID done with full payload"
+
+# 3. Submit another job and SIGTERM while it is in flight: the daemon must
+#    drain the admitted job to a terminal state and exit 0.
+curl -fsS -X POST "$BASE/jobs" \
+  -d '{"bench": "fig10", "config": {"accesses": 500}}' > /dev/null
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+[[ "$RC" -eq 0 ]] || fail "daemon exited $RC after SIGTERM (want 0)"
+grep -q 'drained' "$WORKDIR/daemon.err" || fail "no drain message on stderr"
+DAEMON_PID=""
+echo "graceful SIGTERM drain OK (exit 0)"
+echo "service smoke: PASS"

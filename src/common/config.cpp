@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 
 namespace hmcc {
@@ -56,11 +57,14 @@ std::uint64_t Config::get_uint(const std::string& key,
 double Config::get_double(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (errno == ERANGE) return fallback;  // over-/underflowed to HUGE_VAL/0
-  return (end && *end == '\0' && end != it->second.c_str()) ? v : fallback;
+  // std::from_chars, unlike strtod, ignores LC_NUMERIC: under a
+  // comma-decimal locale strtod("1.5") stops at the '.' and the trailing
+  // junk check silently turned every fractional knob into its fallback.
+  const std::string& s = it->second;
+  double v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || end != s.data() + s.size()) return fallback;
+  return v;
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {

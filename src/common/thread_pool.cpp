@@ -39,6 +39,11 @@ std::size_t ThreadPool::queued() const {
   return queue_.size();
 }
 
+std::size_t ThreadPool::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
 void ThreadPool::enqueue(Job job) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -49,6 +54,16 @@ void ThreadPool::enqueue(Job job) {
     queue_.push_back(std::move(job));
   }
   work_available_.notify_one();
+}
+
+bool ThreadPool::try_enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_queued_ > 0 && queue_.size() >= max_queued_) return false;
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {

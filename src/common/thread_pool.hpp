@@ -22,6 +22,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -51,6 +52,9 @@ class ThreadPool {
   /// Tasks queued but not yet started.
   [[nodiscard]] std::size_t queued() const;
 
+  /// Tasks currently executing on a worker.
+  [[nodiscard]] std::size_t active() const;
+
   /// Schedule @p fn on the pool; the returned future carries its result or
   /// exception. Blocks while a bounded queue is full. Must not be called
   /// after the destructor has begun (there is no re-open).
@@ -66,6 +70,21 @@ class ThreadPool {
     return fut;
   }
 
+  /// Non-blocking submit for backpressure points: where submit() would wait
+  /// for a bounded queue to shrink, try_submit() returns std::nullopt and
+  /// leaves the pool untouched, so the caller can shed load instead of
+  /// stalling (the bench-service daemon turns that into HTTP 429). On an
+  /// unbounded pool it never refuses.
+  template <typename Fn>
+  [[nodiscard]] std::optional<std::future<std::invoke_result_t<std::decay_t<Fn>>>>
+  try_submit(Fn&& fn) {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    std::packaged_task<R()> task(std::forward<Fn>(fn));
+    std::future<R> fut = task.get_future();
+    if (!try_enqueue(Job(std::move(task)))) return std::nullopt;
+    return fut;
+  }
+
   /// Block until the queue is empty and no worker is executing a task.
   /// Tasks submitted concurrently with the wait may or may not be covered.
   void wait_idle();
@@ -74,6 +93,7 @@ class ThreadPool {
   using Job = std::packaged_task<void()>;
 
   void enqueue(Job job);
+  [[nodiscard]] bool try_enqueue(Job job);
   void worker_loop();
 
   mutable std::mutex mutex_;

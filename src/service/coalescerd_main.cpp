@@ -1,0 +1,94 @@
+// hmc_coalescerd: the bench-suite registry as a long-lived HTTP job
+// service ("run fig08 at accesses=1e6" without rebuilding or re-spawning a
+// binary). See DESIGN.md §8 and README for the endpoint reference.
+//
+//   hmc_coalescerd [key=value ...]
+//     port=N            listen port (default 7780; 0 = ephemeral, the
+//                       chosen port is printed on stdout)
+//     bind=ADDR         bind address (default 127.0.0.1)
+//     threads=N         sweep fan-out for job tasks (0 = hardware)
+//     job_workers=N     jobs orchestrated concurrently (default 1)
+//     max_queued_jobs=N admission bound; beyond it POST /jobs answers 429
+//                       (default 8)
+//     timeout_ms=N      default per-job wall-clock budget (0 = unlimited)
+//
+// SIGTERM/SIGINT stop the accept loop, drain every admitted job to a
+// terminal state, and exit 0 — an in-flight job finishing during the drain
+// completes normally.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "service/http.hpp"
+#include "service/service.hpp"
+#include "suite/service_adapter.hpp"
+
+namespace {
+
+hmcc::service::HttpServer* g_server = nullptr;
+
+extern "C" void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmcc;
+
+  Config cli;
+  std::vector<std::string> rejected;
+  cli.parse_args(argc, argv, &rejected);
+  for (const std::string& tok : rejected) {
+    std::fprintf(stderr,
+                 "warning: ignoring malformed argument '%s' (expected "
+                 "key=value)\n",
+                 tok.c_str());
+  }
+
+  system::JobManager::Options job_opts;
+  job_opts.sweep_threads = static_cast<unsigned>(cli.get_uint("threads", 0));
+  job_opts.job_workers =
+      static_cast<unsigned>(cli.get_uint("job_workers", 1));
+  job_opts.max_queued_jobs = cli.get_uint("max_queued_jobs", 8);
+  job_opts.default_timeout =
+      std::chrono::milliseconds(cli.get_uint("timeout_ms", 0));
+
+  service::BenchService svc(bench::service_benches(), job_opts,
+                            bench::knob_metadata_json());
+
+  service::HttpServer::Options http_opts;
+  http_opts.bind_address = cli.get_string("bind", "127.0.0.1");
+  http_opts.port = static_cast<std::uint16_t>(cli.get_uint("port", 7780));
+
+  try {
+    service::HttpServer server(http_opts,
+                               [&svc](const service::HttpRequest& req) {
+                                 return svc.handle(req);
+                               });
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("hmc_coalescerd listening on http://%s:%u\n",
+                http_opts.bind_address.c_str(), server.port());
+    std::fflush(stdout);
+
+    server.serve();
+
+    // Graceful drain: the accept loop has stopped (no new submissions are
+    // reachable), so finish whatever was admitted and leave cleanly.
+    std::fprintf(stderr, "hmc_coalescerd: draining admitted jobs...\n");
+    svc.begin_drain();
+    svc.drain();
+    g_server = nullptr;
+    std::fprintf(stderr, "hmc_coalescerd: drained, exiting\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hmc_coalescerd: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,319 @@
+#include "service/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <system_error>
+
+#include "service/json.hpp"
+
+namespace hmcc::service {
+namespace {
+
+std::string lowercase(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// poll() one fd for readability/writability; false on timeout or error.
+bool wait_io(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+bool send_all(int fd, const char* data, std::size_t len, int timeout_ms) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    if (!wait_io(fd, POLLOUT, timeout_ms)) return false;
+    const ssize_t n =
+        ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno != EINTR && errno != EAGAIN &&
+               errno != EWOULDBLOCK) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void send_response(int fd, const HttpResponse& resp, int timeout_ms) {
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     status_text(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size(), timeout_ms)) {
+    (void)send_all(fd, resp.body.data(), resp.body.size(), timeout_ms);
+  }
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = "{\"error\":" + json::quote(message) + "}";
+  return resp;
+}
+
+/// Parse the request head (request line + headers). Returns false on a
+/// malformed request.
+bool parse_head(const std::string& head, HttpRequest& req) {
+  std::size_t pos = head.find("\r\n");
+  if (pos == std::string::npos) return false;
+  const std::string request_line = head.substr(0, pos);
+
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  req.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  if (req.method.empty() || target.empty() || target[0] != '/') return false;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    req.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  req.target = std::move(target);
+
+  pos += 2;
+  while (pos < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos);
+    const std::size_t line_end = eol == std::string::npos ? head.size() : eol;
+    const std::string line = head.substr(pos, line_end - pos);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    req.headers.emplace_back(lowercase(trim(line.substr(0, colon))),
+                             trim(line.substr(colon + 1)));
+    if (eol == std::string::npos) break;
+    pos = eol + 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(
+    const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(Options opts, HttpHandler handler)
+    : opts_(std::move(opts)), handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = EINVAL;
+    throw_errno("inet_pton");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, opts_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("pipe2");
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+}
+
+HttpServer::~HttpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+}
+
+void HttpServer::request_stop() noexcept {
+  stopping_.store(true, std::memory_order_relaxed);
+  // Self-pipe wake-up: write() is async-signal-safe, and the pipe is
+  // non-blocking so a full pipe (already woken) cannot wedge the handler.
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+void HttpServer::serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string buf;
+  std::size_t head_end = std::string::npos;
+  char chunk[4096];
+
+  // Read until the blank line that ends the headers.
+  while (head_end == std::string::npos) {
+    if (buf.size() > opts_.max_request_bytes) {
+      send_response(fd, error_response(413, "request too large"),
+                    opts_.io_timeout_ms);
+      return;
+    }
+    if (!wait_io(fd, POLLIN, opts_.io_timeout_ms)) {
+      send_response(fd, error_response(408, "timed out reading request"),
+                    opts_.io_timeout_ms);
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return;  // peer closed before a full request
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    head_end = buf.find("\r\n\r\n");
+  }
+
+  HttpRequest req;
+  if (!parse_head(buf.substr(0, head_end + 2), req)) {
+    send_response(fd, error_response(400, "malformed request"),
+                  opts_.io_timeout_ms);
+    return;
+  }
+
+  // Body: Content-Length only (no chunked encoding — curl and every HTTP
+  // client library send explicit lengths for small JSON bodies).
+  std::size_t content_length = 0;
+  if (const std::string* cl = req.header("content-length")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0') {
+      send_response(fd, error_response(400, "bad content-length"),
+                    opts_.io_timeout_ms);
+      return;
+    }
+    content_length = static_cast<std::size_t>(v);
+  } else if (req.header("transfer-encoding") != nullptr) {
+    send_response(fd, error_response(411, "chunked bodies not supported"),
+                  opts_.io_timeout_ms);
+    return;
+  }
+  if (content_length > opts_.max_request_bytes) {
+    send_response(fd, error_response(413, "body too large"),
+                  opts_.io_timeout_ms);
+    return;
+  }
+
+  const std::size_t body_start = head_end + 4;
+  while (buf.size() - body_start < content_length) {
+    if (!wait_io(fd, POLLIN, opts_.io_timeout_ms)) {
+      send_response(fd, error_response(408, "timed out reading body"),
+                    opts_.io_timeout_ms);
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  req.body = buf.substr(body_start, content_length);
+
+  HttpResponse resp;
+  try {
+    resp = handler_(req);
+  } catch (const std::exception& e) {
+    resp = error_response(500, e.what());
+  } catch (...) {
+    resp = error_response(500, "unhandled exception");
+  }
+  send_response(fd, resp, opts_.io_timeout_ms);
+}
+
+}  // namespace hmcc::service

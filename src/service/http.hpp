@@ -1,0 +1,91 @@
+// Minimal HTTP/1.1 server on plain POSIX sockets for the bench-service
+// daemon. No external dependencies, no TLS, no keep-alive: one request per
+// connection, `Connection: close` on every response. That is all a
+// localhost job-control plane needs, and it keeps the attack/bug surface
+// reviewable in one file.
+//
+// Threading model: serve() accepts and handles connections on the calling
+// thread. Handlers must therefore be fast — the bench service's handlers
+// only touch the JobManager's bookkeeping (submit/status/occupancy), never
+// run simulations inline. request_stop() is async-signal-safe (an atomic
+// store plus a self-pipe write), so a SIGTERM handler can stop the accept
+// loop directly; in-flight handler work finishes before serve() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hmcc::service {
+
+struct HttpRequest {
+  std::string method;   ///< uppercase, e.g. "GET"
+  std::string target;   ///< path only; any ?query is split into `query`
+  std::string query;    ///< raw query string without the '?'
+  std::string body;
+  /// Header names are lowercased; values are trimmed of surrounding space.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header with @p lowercase_name; nullptr when absent.
+  [[nodiscard]] const std::string* header(
+      const std::string& lowercase_name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Reason phrase for the handful of status codes the service uses.
+[[nodiscard]] const char* status_text(int status) noexcept;
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    int backlog = 16;
+    /// Per-connection ceiling on headers+body; larger requests get 413.
+    std::size_t max_request_bytes = 1u << 20;
+    /// Per-read/write poll timeout; a stalled client is dropped, it cannot
+    /// wedge the accept loop forever.
+    int io_timeout_ms = 5000;
+  };
+
+  /// Binds and listens immediately; throws std::system_error on failure.
+  HttpServer(Options opts, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves port=0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept/handle loop; returns after request_stop(). Any in-flight
+  /// request is answered before returning.
+  void serve();
+
+  /// Async-signal-safe stop: atomic flag + self-pipe write. Safe to call
+  /// from a signal handler or another thread; idempotent.
+  void request_stop() noexcept;
+
+ private:
+  void handle_connection(int fd);
+
+  Options opts_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace hmcc::service

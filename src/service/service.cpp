@@ -1,0 +1,223 @@
+#include "service/service.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace hmcc::service {
+namespace {
+
+HttpResponse json_response(int status, const json::Value& v) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = v.dump();
+  return resp;
+}
+
+HttpResponse error_json(int status, const std::string& message) {
+  return json_response(status, json::Object{{"error", message}});
+}
+
+/// "/jobs/<id>" -> id; nullopt for anything that is not a positive integer.
+std::optional<std::uint64_t> parse_job_id(const std::string& target,
+                                          const std::string& prefix) {
+  if (target.size() <= prefix.size() || target.rfind(prefix, 0) != 0) {
+    return std::nullopt;
+  }
+  const std::string tail = target.substr(prefix.size());
+  std::uint64_t id = 0;
+  const auto [end, ec] =
+      std::from_chars(tail.data(), tail.data() + tail.size(), id);
+  if (ec != std::errc() || end != tail.data() + tail.size() || id == 0) {
+    return std::nullopt;
+  }
+  return id;
+}
+
+/// JSON scalar -> Config string value, matching what a command line would
+/// have carried ("accesses":500 and "accesses":"500" are the same knob).
+std::optional<std::string> scalar_to_string(const json::Value& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_bool()) return std::string(v.as_bool() ? "1" : "0");
+  if (v.is_int()) return std::to_string(v.as_int());
+  if (v.is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v.as_double());
+    return std::string(buf);
+  }
+  return std::nullopt;
+}
+
+json::Value snapshot_to_json(const system::JobSnapshot& snap) {
+  json::Object o{
+      {"id", std::to_string(snap.id)},
+      {"bench", snap.name},
+      {"state", to_string(snap.state)},
+      {"timeout_ms", static_cast<std::int64_t>(snap.timeout.count())},
+  };
+  if (snap.state == system::JobState::kDone) {
+    o.emplace_back("text", snap.output.text);
+    o.emplace_back("csv", snap.output.csv);
+  }
+  if (!snap.error.empty()) o.emplace_back("error", snap.error);
+  return o;
+}
+
+}  // namespace
+
+BenchService::BenchService(std::vector<ServiceBench> benches,
+                           const system::JobManager::Options& options,
+                           json::Value knob_metadata)
+    : benches_(std::move(benches)),
+      knob_metadata_(std::move(knob_metadata)),
+      jobs_(options) {}
+
+HttpResponse BenchService::handle(const HttpRequest& req) {
+  try {
+    if (req.target == "/benches") {
+      if (req.method != "GET") return error_json(405, "use GET");
+      return list_benches();
+    }
+    if (req.target == "/healthz") {
+      if (req.method != "GET") return error_json(405, "use GET");
+      return healthz();
+    }
+    if (req.target == "/jobs") {
+      if (req.method != "POST") return error_json(405, "use POST");
+      return submit_job(req);
+    }
+    if (const auto id = parse_job_id(req.target, "/jobs/")) {
+      if (req.method == "GET") return job_status(*id);
+      if (req.method == "DELETE") return cancel_job(*id);
+      return error_json(405, "use GET or DELETE");
+    }
+    return error_json(404, "no such endpoint");
+  } catch (const std::exception& e) {
+    return error_json(500, e.what());
+  } catch (...) {
+    return error_json(500, "unhandled exception");
+  }
+}
+
+HttpResponse BenchService::list_benches() const {
+  json::Array entries;
+  entries.reserve(benches_.size());
+  for (const ServiceBench& b : benches_) entries.push_back(b.metadata);
+  return json_response(200, json::Object{
+                                {"benches", std::move(entries)},
+                                {"knobs", knob_metadata_},
+                            });
+}
+
+HttpResponse BenchService::submit_job(const HttpRequest& req) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return error_json(503, "draining: not accepting new jobs");
+  }
+  std::string parse_error;
+  const auto doc = json::parse(req.body, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return error_json(400, "body must be a JSON object" +
+                               (parse_error.empty() ? std::string()
+                                                    : ": " + parse_error));
+  }
+  const json::Value* bench_name = doc->find("bench");
+  if (bench_name == nullptr || !bench_name->is_string()) {
+    return error_json(400, "missing string field 'bench'");
+  }
+  const ServiceBench* bench = nullptr;
+  for (const ServiceBench& b : benches_) {
+    if (b.name == bench_name->as_string()) {
+      bench = &b;
+      break;
+    }
+  }
+  if (bench == nullptr) {
+    return error_json(404,
+                      "unknown bench '" + bench_name->as_string() + "'");
+  }
+
+  Config overrides;
+  if (const json::Value* config = doc->find("config")) {
+    if (!config->is_object()) {
+      return error_json(400, "'config' must be an object of knob values");
+    }
+    for (const auto& [key, value] : config->as_object()) {
+      const auto s = scalar_to_string(value);
+      if (!s) {
+        return error_json(400, "knob '" + key + "' must be a scalar");
+      }
+      overrides.set(key, *s);
+    }
+  }
+
+  std::optional<std::chrono::milliseconds> timeout;
+  if (const json::Value* t = doc->find("timeout_ms")) {
+    if (!t->is_number() || t->as_int() < 0) {
+      return error_json(400, "'timeout_ms' must be a non-negative number");
+    }
+    timeout = std::chrono::milliseconds(t->as_int());
+  }
+
+  const auto id = jobs_.submit(
+      bench->name,
+      [run = bench->run, overrides](const system::JobContext& ctx) {
+        return run(overrides, ctx);
+      },
+      timeout);
+  if (!id) {
+    return error_json(429, "admission queue full, retry later");
+  }
+  return json_response(202, json::Object{
+                                {"id", std::to_string(*id)},
+                                {"bench", bench->name},
+                                {"state", "queued"},
+                            });
+}
+
+HttpResponse BenchService::job_status(std::uint64_t id) const {
+  const auto snap = jobs_.status(id);
+  if (!snap) return error_json(404, "no such job");
+  return json_response(200, snapshot_to_json(*snap));
+}
+
+HttpResponse BenchService::cancel_job(std::uint64_t id) {
+  const auto snap = jobs_.status(id);
+  if (!snap) return error_json(404, "no such job");
+  if (!jobs_.cancel(id)) {
+    return error_json(409, std::string("job already ") +
+                               to_string(snap->state));
+  }
+  return json_response(200, json::Object{
+                                {"id", std::to_string(id)},
+                                {"cancelling", true},
+                            });
+}
+
+HttpResponse BenchService::healthz() const {
+  const auto occ = jobs_.occupancy();
+  return json_response(
+      200,
+      json::Object{
+          {"status", draining() ? "draining" : "ok"},
+          {"benches", static_cast<std::int64_t>(benches_.size())},
+          {"jobs",
+           json::Object{
+               {"queued", static_cast<std::int64_t>(occ.queued)},
+               {"running", static_cast<std::int64_t>(occ.running)},
+               {"finished", static_cast<std::int64_t>(occ.finished)},
+               {"admission_bound",
+                static_cast<std::int64_t>(occ.max_queued_jobs)},
+           }},
+          {"pool",
+           json::Object{
+               {"job_workers", static_cast<std::int64_t>(occ.job_workers)},
+               {"sweep_threads",
+                static_cast<std::int64_t>(occ.sweep_threads)},
+               {"sweep_active", static_cast<std::int64_t>(occ.sweep_active)},
+               {"sweep_queued", static_cast<std::int64_t>(occ.sweep_queued)},
+           }},
+      });
+}
+
+}  // namespace hmcc::service

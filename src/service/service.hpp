@@ -1,0 +1,82 @@
+// BenchService: the HTTP-facing job control plane over a JobManager.
+//
+// The service is deliberately generic: it serves any list of ServiceBench
+// entries (a name, machine-readable metadata for GET /benches, and an
+// in-memory run function). The daemon wires the bench-suite registry into
+// this shape (bench/suite/service_adapter.*); tests wire in fast synthetic
+// benches to exercise overload, timeout and drain paths without running
+// simulations.
+//
+// Endpoints (all JSON):
+//   GET    /benches    registered benches + their knob metadata
+//   POST   /jobs       {"bench": name, "config": {knob: value, ...},
+//                       "timeout_ms": n}  -> 202 {"id": ...} | 404 unknown
+//                      bench | 429 admission queue full | 503 draining
+//   GET    /jobs/<id>  job snapshot; terminal jobs carry the bench's text
+//                      and CSV payload
+//   DELETE /jobs/<id>  cooperative cancel -> 200 | 409 already terminal
+//   GET    /healthz    occupancy: queued/running/finished jobs, pool sizes
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "service/http.hpp"
+#include "service/json.hpp"
+#include "system/job_manager.hpp"
+
+namespace hmcc::service {
+
+struct ServiceBench {
+  std::string name;
+  /// Entry shown under "benches" in GET /benches (name, title, defaults,
+  /// ... — whatever the adapter knows).
+  json::Value metadata;
+  /// Run the bench with the given knob overrides, entirely in memory.
+  /// Called on a job worker; must call ctx.checkpoint() between units of
+  /// work so timeouts and cancellation take effect.
+  std::function<system::JobOutput(const Config& overrides,
+                                  const system::JobContext& ctx)>
+      run;
+};
+
+class BenchService {
+ public:
+  BenchService(std::vector<ServiceBench> benches,
+               const system::JobManager::Options& options,
+               json::Value knob_metadata = json::Array{});
+
+  /// Route one request. Never throws (the HTTP layer also catches, but
+  /// errors are mapped to JSON here where there is more context).
+  HttpResponse handle(const HttpRequest& req);
+
+  /// Stop admitting jobs: POST /jobs answers 503 from now on. Status and
+  /// health endpoints keep working so a drain is observable.
+  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Block until every admitted job reached a terminal state.
+  void drain() { jobs_.drain(); }
+
+  [[nodiscard]] system::JobManager& jobs() { return jobs_; }
+
+ private:
+  HttpResponse list_benches() const;
+  HttpResponse submit_job(const HttpRequest& req);
+  HttpResponse job_status(std::uint64_t id) const;
+  HttpResponse cancel_job(std::uint64_t id);
+  HttpResponse healthz() const;
+
+  std::vector<ServiceBench> benches_;
+  json::Value knob_metadata_;
+  std::atomic<bool> draining_{false};
+  system::JobManager jobs_;
+};
+
+}  // namespace hmcc::service

@@ -1,0 +1,157 @@
+#include "system/job_manager.hpp"
+
+#include <utility>
+
+namespace hmcc::system {
+
+const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kTimeout: return "timeout";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState s) noexcept {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kTimeout || s == JobState::kCancelled;
+}
+
+void JobContext::checkpoint() const {
+  if (cancelled()) throw JobCancelledError("job cancelled");
+  if (timed_out()) throw JobTimeoutError("job wall-clock budget exceeded");
+}
+
+JobManager::JobManager(const Options& opts)
+    : opts_(opts),
+      runner_(opts.sweep_threads),
+      dispatch_(opts.job_workers == 0 ? 1 : opts.job_workers,
+                opts.max_queued_jobs) {}
+
+std::optional<std::uint64_t> JobManager::submit(
+    std::string name, JobFn fn,
+    std::optional<std::chrono::milliseconds> timeout) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    Job job;
+    job.name = std::move(name);
+    job.timeout = timeout.value_or(opts_.default_timeout);
+    jobs_.emplace(id, std::move(job));
+  }
+  // The dispatch pool's bounded queue IS the admission decision: a refusal
+  // must leave no trace of the job behind.
+  auto fut = dispatch_.try_submit(
+      [this, id, fn = std::move(fn)] { run_job(id, fn); });
+  if (!fut) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(id);
+    return std::nullopt;
+  }
+  return id;
+}
+
+void JobManager::run_job(std::uint64_t id, const JobFn& fn) {
+  std::shared_ptr<std::atomic<bool>> cancel;
+  std::chrono::milliseconds timeout{0};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job& job = jobs_.at(id);
+    cancel = job.cancel;
+    if (cancel->load(std::memory_order_relaxed)) {
+      job.state = JobState::kCancelled;
+      job.error = "cancelled before start";
+      return;
+    }
+    job.state = JobState::kRunning;
+    timeout = job.timeout;
+  }
+
+  // The wall-clock budget starts when the job STARTS, not when it was
+  // admitted: a job queued behind a long-running one must not time out
+  // without having run a single task.
+  const bool has_deadline = timeout.count() > 0;
+  const JobContext ctx(&runner_, cancel.get(),
+                       std::chrono::steady_clock::now() + timeout,
+                       has_deadline);
+  JobState state = JobState::kDone;
+  JobOutput output;
+  std::string error;
+  try {
+    output = fn(ctx);
+  } catch (const JobTimeoutError& e) {
+    state = JobState::kTimeout;
+    error = e.what();
+  } catch (const JobCancelledError& e) {
+    state = JobState::kCancelled;
+    error = e.what();
+  } catch (const std::exception& e) {
+    state = JobState::kFailed;
+    error = e.what();
+  } catch (...) {
+    state = JobState::kFailed;
+    error = "unknown exception";
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job& job = jobs_.at(id);
+  job.state = state;
+  job.output = std::move(output);
+  job.error = std::move(error);
+}
+
+std::optional<JobSnapshot> JobManager::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  JobSnapshot snap;
+  snap.id = id;
+  snap.name = it->second.name;
+  snap.state = it->second.state;
+  snap.output = it->second.output;
+  snap.error = it->second.error;
+  snap.timeout = it->second.timeout;
+  return snap;
+}
+
+bool JobManager::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || is_terminal(it->second.state)) return false;
+  it->second.cancel->store(true, std::memory_order_relaxed);
+  return true;
+}
+
+JobManager::Occupancy JobManager::occupancy() const {
+  Occupancy occ;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) {
+      (void)id;
+      if (job.state == JobState::kQueued) {
+        ++occ.queued;
+      } else if (job.state == JobState::kRunning) {
+        ++occ.running;
+      } else {
+        ++occ.finished;
+      }
+    }
+  }
+  occ.job_workers = dispatch_.threads();
+  occ.max_queued_jobs = opts_.max_queued_jobs;
+  occ.sweep_threads = runner_.threads();
+  if (const auto& pool = runner_.pool()) {
+    occ.sweep_active = pool->active();
+    occ.sweep_queued = pool->queued();
+  }
+  return occ;
+}
+
+void JobManager::drain() { dispatch_.wait_idle(); }
+
+}  // namespace hmcc::system

@@ -1,0 +1,194 @@
+// Asynchronous execution of named jobs with bounded admission, per-job
+// wall-clock timeouts and cooperative cancellation.
+//
+// The bench-service daemon (src/service) submits one job per HTTP POST and
+// polls its state; a job's own work fans out over a SweepRunner so a single
+// job still uses every simulation worker. Two pools keep that deadlock-free:
+//
+//  - the dispatch pool runs job ORCHESTRATION (job_workers threads). Its
+//    bounded queue is the admission limit: ThreadPool::try_submit() refusing
+//    a job is exactly the "return 429" signal the service wants, with no
+//    extra bookkeeping that could drift out of sync with the pool;
+//  - the sweep runner executes each job's TASKS. A job thread may block on
+//    sweep futures, never on the dispatch pool, so a job cannot starve the
+//    sub-tasks it is waiting for.
+//
+// Timeouts and cancellation are cooperative: simulation points are not
+// preemptible, so JobContext::checkpoint() is called between units of work
+// (the bench glue checks before every sweep task) and throws once the
+// wall-clock budget is gone or cancel() was called. A timed-out job stops
+// starting new tasks and reports JobState::kTimeout; in-flight tasks finish.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "system/sweep_runner.hpp"
+
+namespace hmcc::system {
+
+/// Thrown by JobContext::checkpoint() once the job's wall-clock budget is
+/// exhausted; the manager maps it to JobState::kTimeout.
+class JobTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by JobContext::checkpoint() after JobManager::cancel(); the
+/// manager maps it to JobState::kCancelled.
+class JobCancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class JobState {
+  kQueued,     ///< admitted, waiting for a dispatch worker
+  kRunning,    ///< executing on a dispatch worker
+  kDone,       ///< finished, output valid
+  kFailed,     ///< threw; error holds the message
+  kTimeout,    ///< exceeded its wall-clock budget
+  kCancelled,  ///< cancelled before or during execution
+};
+
+[[nodiscard]] const char* to_string(JobState s) noexcept;
+
+/// True for the three terminal states (kDone/kFailed/kTimeout/kCancelled).
+[[nodiscard]] bool is_terminal(JobState s) noexcept;
+
+/// What a job hands back: the text a standalone run would print and the CSV
+/// rows it would write, both kept in memory (a service job never touches the
+/// filesystem or stdout).
+struct JobOutput {
+  std::string text;
+  std::string csv;
+};
+
+/// Per-job view handed to the job function: the shared task fan-out runner
+/// plus the cooperative timeout/cancel checkpoint.
+class JobContext {
+ public:
+  /// Task-level fan-out shared by all jobs.
+  [[nodiscard]] const SweepRunner& runner() const noexcept { return *runner_; }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool timed_out() const noexcept {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Throws JobCancelledError/JobTimeoutError when the job should stop;
+  /// call between units of work (the bench glue calls it per sweep task).
+  void checkpoint() const;
+
+ private:
+  friend class JobManager;
+  JobContext(const SweepRunner* runner, std::atomic<bool>* cancel,
+             std::chrono::steady_clock::time_point deadline, bool has_deadline)
+      : runner_(runner), cancel_(cancel), deadline_(deadline),
+        has_deadline_(has_deadline) {}
+
+  const SweepRunner* runner_;
+  std::atomic<bool>* cancel_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_;
+};
+
+using JobFn = std::function<JobOutput(const JobContext&)>;
+
+/// Immutable copy of a job's state for status queries.
+struct JobSnapshot {
+  std::uint64_t id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  JobOutput output;            ///< valid when state == kDone
+  std::string error;           ///< set for kFailed/kTimeout/kCancelled
+  std::chrono::milliseconds timeout{0};  ///< 0 = unlimited
+};
+
+class JobManager {
+ public:
+  struct Options {
+    unsigned sweep_threads = 0;   ///< SweepRunner fan-out (0 = hardware)
+    unsigned job_workers = 1;     ///< jobs orchestrated concurrently
+    std::size_t max_queued_jobs = 8;  ///< admission bound (excl. running)
+    std::chrono::milliseconds default_timeout{0};  ///< 0 = unlimited
+  };
+
+  explicit JobManager(const Options& opts);
+
+  /// Drains: every admitted job runs to a terminal state before workers
+  /// join — a submitted job is never abandoned half-done.
+  ~JobManager() = default;
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Admit @p fn as a job. Returns its id, or std::nullopt when the
+  /// admission queue is at its bound (the caller should shed load — the
+  /// HTTP layer answers 429). @p timeout overrides the default budget.
+  std::optional<std::uint64_t> submit(
+      std::string name, JobFn fn,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+  /// Snapshot of a job; std::nullopt for unknown ids.
+  [[nodiscard]] std::optional<JobSnapshot> status(std::uint64_t id) const;
+
+  /// Request cancellation. Queued jobs never start; running jobs stop at
+  /// their next checkpoint. Returns false for unknown or already-terminal
+  /// jobs.
+  bool cancel(std::uint64_t id);
+
+  struct Occupancy {
+    std::size_t queued = 0;    ///< admitted, not yet started
+    std::size_t running = 0;
+    std::size_t finished = 0;  ///< any terminal state
+    unsigned job_workers = 0;
+    std::size_t max_queued_jobs = 0;
+    unsigned sweep_threads = 0;
+    std::size_t sweep_active = 0;  ///< sweep tasks executing now
+    std::size_t sweep_queued = 0;  ///< sweep tasks waiting for a worker
+  };
+  [[nodiscard]] Occupancy occupancy() const;
+
+  /// Block until every job admitted before the call reached a terminal
+  /// state (SIGTERM drain: stop submitting first, then drain()).
+  void drain();
+
+ private:
+  struct Job {
+    std::string name;
+    JobState state = JobState::kQueued;
+    JobOutput output;
+    std::string error;
+    std::chrono::milliseconds timeout{0};
+    /// shared_ptr: the orchestration thread holds the flag alive even if a
+    /// (hypothetical) future API erased the map entry mid-run.
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+  };
+
+  void run_job(std::uint64_t id, const JobFn& fn);
+
+  Options opts_;
+  // Declaration order is load-bearing for shutdown: dispatch_ must be
+  // destroyed FIRST (its dtor drains queued jobs, whose run_job() touches
+  // jobs_/mutex_ and fans out over runner_), so it is declared LAST.
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t next_id_ = 1;
+  SweepRunner runner_;
+  ThreadPool dispatch_;
+};
+
+}  // namespace hmcc::system

@@ -27,10 +27,16 @@ void SweepRunner::for_each_index(
   // unclaimed index until the range (or the first failure) exhausts it. The
   // failure flag is checked BEFORE claiming, so after an exception no worker
   // starts a fresh point — at most the points already in flight finish.
+  //
+  // When several in-flight points throw, the LOWEST failing index wins the
+  // rethrow, not whichever worker happened to lose the race into the error
+  // slot: index 0 failing must surface the same exception at threads=1 and
+  // threads=64, or a sweep's error message would change with the machine.
   const std::size_t workers = std::min<std::size_t>(threads_, count);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
+  std::size_t error_index = 0;
   std::mutex error_mutex;
   auto worker = [&] {
     for (;;) {
@@ -41,7 +47,10 @@ void SweepRunner::for_each_index(
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        if (!error || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
         failed.store(true, std::memory_order_relaxed);
         return;
       }

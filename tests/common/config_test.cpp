@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 namespace hmcc {
 namespace {
 
@@ -77,6 +80,34 @@ TEST(Config, GettersRejectOutOfRangeValues) {
   EXPECT_EQ(c.get_int("huge_i", -2), -2);
   EXPECT_EQ(c.get_int("tiny_i", 3), 3);
   EXPECT_DOUBLE_EQ(c.get_double("huge_d", 0.25), 0.25);
+}
+
+TEST(Config, GetDoubleIsLocaleIndependent) {
+  // Regression: get_double used strtod, whose decimal separator follows
+  // LC_NUMERIC. Under a comma-decimal locale (e.g. de_DE) "1.5" parsed as 1
+  // with trailing garbage, silently truncating every fractional knob.
+  Config c;
+  c.set("frac", "1.5");
+  c.set("comma", "1,5");
+  c.set("exp", "2.5e-1");
+
+  // Whatever the locale, '.' must be the one and only decimal separator.
+  const char* old_locale = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = old_locale ? old_locale : "C";
+  const bool have_comma_locale =
+      std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_NUMERIC, "fr_FR.UTF-8") != nullptr;
+
+  EXPECT_DOUBLE_EQ(c.get_double("frac", 0), 1.5);
+  EXPECT_DOUBLE_EQ(c.get_double("exp", 0), 0.25);
+  // A comma value is malformed in the config grammar regardless of locale.
+  EXPECT_DOUBLE_EQ(c.get_double("comma", 9.0), 9.0);
+
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  if (!have_comma_locale) {
+    GTEST_LOG_(INFO) << "no comma-decimal locale installed; exercised the "
+                        "locale-independent path under the C locale only";
+  }
 }
 
 TEST(Config, GettersRejectEmptyValues) {

@@ -1,0 +1,424 @@
+// BenchService + HttpServer: the daemon's control plane, exercised with
+// fast synthetic benches (no simulations) both in-process (handle()) and
+// end-to-end over a real localhost socket.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/http.hpp"
+#include "service/json.hpp"
+
+namespace hmcc::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Synthetic benches: instant, slow (checkpointing), and failing.
+
+struct Fixture {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+
+  std::vector<ServiceBench> benches() {
+    std::vector<ServiceBench> out;
+    ServiceBench fast;
+    fast.name = "fast";
+    fast.metadata = json::Object{{"name", "fast"}, {"title", "fast bench"}};
+    fast.run = [](const Config& overrides, const system::JobContext& ctx) {
+      ctx.checkpoint();
+      system::JobOutput o;
+      o.text = "ran with accesses=" +
+               std::to_string(overrides.get_uint("accesses", 0));
+      o.csv = "a,b\n1,2\n";
+      return o;
+    };
+    out.push_back(std::move(fast));
+
+    ServiceBench slow;
+    slow.name = "slow";
+    slow.metadata = json::Object{{"name", "slow"}};
+    slow.run = [gate = gate](const Config&, const system::JobContext& ctx) {
+      // Wait for the test to open the gate, checkpointing so cancel and
+      // timeout can interrupt the wait.
+      while (gate.wait_for(1ms) != std::future_status::ready) {
+        ctx.checkpoint();
+      }
+      return system::JobOutput{"slow done", ""};
+    };
+    out.push_back(std::move(slow));
+
+    ServiceBench bad;
+    bad.name = "bad";
+    bad.metadata = json::Object{{"name", "bad"}};
+    bad.run = [](const Config&, const system::JobContext&) -> system::JobOutput {
+      throw std::runtime_error("synthetic failure");
+    };
+    out.push_back(std::move(bad));
+    return out;
+  }
+};
+
+system::JobManager::Options tiny_options() {
+  system::JobManager::Options opts;
+  opts.sweep_threads = 1;
+  opts.job_workers = 1;
+  opts.max_queued_jobs = 1;
+  return opts;
+}
+
+HttpRequest make_request(std::string method, std::string target,
+                         std::string body = "") {
+  HttpRequest req;
+  req.method = std::move(method);
+  req.target = std::move(target);
+  req.body = std::move(body);
+  return req;
+}
+
+json::Value body_json(const HttpResponse& resp) {
+  auto v = json::parse(resp.body);
+  EXPECT_TRUE(v.has_value()) << "non-JSON body: " << resp.body;
+  return v.value_or(json::Value{});
+}
+
+std::string poll_until_state(BenchService& svc, const std::string& id,
+                             const std::vector<std::string>& states) {
+  for (;;) {
+    const auto resp = svc.handle(make_request("GET", "/jobs/" + id));
+    EXPECT_EQ(resp.status, 200);
+    const auto v = body_json(resp);
+    const std::string state = v.find("state")->as_string();
+    for (const std::string& s : states) {
+      if (state == s) return state;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+TEST(BenchService, ListsBenchesAndKnobsInOrder) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options(),
+                   json::Array{json::Object{{"name", "accesses"}}});
+  fx.release.set_value();
+  const auto resp = svc.handle(make_request("GET", "/benches"));
+  EXPECT_EQ(resp.status, 200);
+  const auto v = body_json(resp);
+  const auto& benches = v.find("benches")->as_array();
+  ASSERT_EQ(benches.size(), 3u);
+  EXPECT_EQ(benches[0].find("name")->as_string(), "fast");
+  EXPECT_EQ(benches[1].find("name")->as_string(), "slow");
+  EXPECT_EQ(benches[2].find("name")->as_string(), "bad");
+  const auto& knobs = v.find("knobs")->as_array();
+  ASSERT_EQ(knobs.size(), 1u);
+  EXPECT_EQ(knobs[0].find("name")->as_string(), "accesses");
+  // Wrong method on a known endpoint.
+  EXPECT_EQ(svc.handle(make_request("POST", "/benches")).status, 405);
+  svc.drain();
+}
+
+TEST(BenchService, SubmitRunsJobToCompletionWithOverrides) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  fx.release.set_value();
+  const auto resp = svc.handle(make_request(
+      "POST", "/jobs",
+      R"({"bench": "fast", "config": {"accesses": 123, "bypass": true}})"));
+  ASSERT_EQ(resp.status, 202) << resp.body;
+  const auto submitted = body_json(resp);
+  const std::string id = submitted.find("id")->as_string();
+  EXPECT_EQ(submitted.find("bench")->as_string(), "fast");
+  EXPECT_EQ(submitted.find("state")->as_string(), "queued");
+
+  EXPECT_EQ(poll_until_state(svc, id, {"done"}), "done");
+  const auto status = svc.handle(make_request("GET", "/jobs/" + id));
+  const auto v = body_json(status);
+  EXPECT_EQ(v.find("text")->as_string(), "ran with accesses=123");
+  EXPECT_EQ(v.find("csv")->as_string(), "a,b\n1,2\n");
+  svc.drain();
+}
+
+TEST(BenchService, RejectsBadSubmissions) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  fx.release.set_value();
+  // Malformed JSON, non-object, missing bench, unknown bench, non-scalar
+  // knob, bad timeout — each with a distinct message.
+  EXPECT_EQ(svc.handle(make_request("POST", "/jobs", "{oops")).status, 400);
+  EXPECT_EQ(svc.handle(make_request("POST", "/jobs", "[1]")).status, 400);
+  EXPECT_EQ(svc.handle(make_request("POST", "/jobs", "{}")).status, 400);
+  EXPECT_EQ(
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "nope"})")).status,
+      404);
+  EXPECT_EQ(svc.handle(make_request(
+                           "POST", "/jobs",
+                           R"({"bench": "fast", "config": {"a": [1]}})"))
+                .status,
+            400);
+  EXPECT_EQ(svc.handle(make_request(
+                           "POST", "/jobs",
+                           R"({"bench": "fast", "timeout_ms": -5})"))
+                .status,
+            400);
+  // Unknown endpoints and malformed job ids.
+  EXPECT_EQ(svc.handle(make_request("GET", "/nope")).status, 404);
+  EXPECT_EQ(svc.handle(make_request("GET", "/jobs/abc")).status, 404);
+  EXPECT_EQ(svc.handle(make_request("GET", "/jobs/0")).status, 404);
+  EXPECT_EQ(svc.handle(make_request("GET", "/jobs/999")).status, 404);
+  svc.drain();
+}
+
+TEST(BenchService, OverloadAnswers429AndRecovers) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  // Fill the single worker with the gated slow job, then the single queue
+  // slot; the next submission must shed with 429.
+  const auto first =
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "slow"})"));
+  ASSERT_EQ(first.status, 202);
+  std::vector<std::string> admitted{body_json(first).find("id")->as_string()};
+  bool saw_429 = false;
+  for (int i = 0; i < 4 && !saw_429; ++i) {
+    const auto resp =
+        svc.handle(make_request("POST", "/jobs", R"({"bench": "fast"})"));
+    if (resp.status == 429) {
+      saw_429 = true;
+    } else {
+      ASSERT_EQ(resp.status, 202);
+      admitted.push_back(body_json(resp).find("id")->as_string());
+    }
+  }
+  EXPECT_TRUE(saw_429) << "admission bound never tripped";
+  EXPECT_LE(admitted.size(), 3u);
+  fx.release.set_value();
+  for (const std::string& id : admitted) {
+    poll_until_state(svc, id, {"done"});
+  }
+  // Backlog drained: admission works again.
+  EXPECT_EQ(
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "fast"})")).status,
+      202);
+  svc.drain();
+}
+
+TEST(BenchService, FailedJobCarriesErrorNotPayload) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  fx.release.set_value();
+  const auto resp =
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "bad"})"));
+  ASSERT_EQ(resp.status, 202);
+  const std::string id = body_json(resp).find("id")->as_string();
+  poll_until_state(svc, id, {"failed"});
+  const auto v = body_json(svc.handle(make_request("GET", "/jobs/" + id)));
+  EXPECT_EQ(v.find("error")->as_string(), "synthetic failure");
+  EXPECT_EQ(v.find("text"), nullptr);
+  EXPECT_EQ(v.find("csv"), nullptr);
+  svc.drain();
+}
+
+TEST(BenchService, TimeoutAndCancelReachTerminalStates) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  // Timeout: the gated slow job with a tiny budget trips at a checkpoint.
+  const auto timed = svc.handle(make_request(
+      "POST", "/jobs", R"({"bench": "slow", "timeout_ms": 15})"));
+  ASSERT_EQ(timed.status, 202);
+  const std::string timed_id = body_json(timed).find("id")->as_string();
+  poll_until_state(svc, timed_id, {"timeout"});
+
+  // Cancel: admit another slow job, cancel it mid-wait.
+  const auto second =
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "slow"})"));
+  ASSERT_EQ(second.status, 202);
+  const std::string cancel_id = body_json(second).find("id")->as_string();
+  poll_until_state(svc, cancel_id, {"queued", "running"});
+  const auto cancel =
+      svc.handle(make_request("DELETE", "/jobs/" + cancel_id));
+  EXPECT_EQ(cancel.status, 200);
+  poll_until_state(svc, cancel_id, {"cancelled"});
+  // Cancelling a terminal job conflicts.
+  EXPECT_EQ(svc.handle(make_request("DELETE", "/jobs/" + cancel_id)).status,
+            409);
+  fx.release.set_value();
+  svc.drain();
+}
+
+TEST(BenchService, DrainRefusesNewJobsButServesStatus) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  fx.release.set_value();
+  const auto resp =
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "fast"})"));
+  ASSERT_EQ(resp.status, 202);
+  const std::string id = body_json(resp).find("id")->as_string();
+  svc.begin_drain();
+  EXPECT_EQ(
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "fast"})")).status,
+      503);
+  svc.drain();
+  // Status and health still answer during/after a drain.
+  poll_until_state(svc, id, {"done"});
+  const auto health = body_json(svc.handle(make_request("GET", "/healthz")));
+  EXPECT_EQ(health.find("status")->as_string(), "draining");
+  const auto* jobs = health.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_EQ(jobs->find("queued")->as_int(), 0);
+  EXPECT_EQ(jobs->find("running")->as_int(), 0);
+  EXPECT_GE(jobs->find("finished")->as_int(), 1);
+  EXPECT_EQ(jobs->find("admission_bound")->as_int(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a real socket.
+
+struct RawResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// One-shot HTTP client: send @p raw, read to EOF (Connection: close).
+RawResponse raw_request(std::uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  RawResponse out;
+  // "HTTP/1.1 NNN ..." — the three digits after the first space.
+  const std::size_t sp = reply.find(' ');
+  if (sp != std::string::npos && sp + 3 < reply.size()) {
+    out.status = std::stoi(reply.substr(sp + 1, 3));
+  }
+  const std::size_t sep = reply.find("\r\n\r\n");
+  if (sep != std::string::npos) out.body = reply.substr(sep + 4);
+  return out;
+}
+
+std::string get(const std::string& target) {
+  return "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+}
+
+std::string post(const std::string& target, const std::string& body) {
+  return "POST " + target + " HTTP/1.1\r\nHost: localhost\r\n"
+         "Content-Type: application/json\r\n"
+         "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+TEST(HttpServer, ServesBenchServiceEndToEnd) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  fx.release.set_value();
+  HttpServer::Options opts;
+  opts.port = 0;  // ephemeral
+  HttpServer server(opts, [&svc](const HttpRequest& req) {
+    return svc.handle(req);
+  });
+  const std::uint16_t port = server.port();
+  ASSERT_GT(port, 0);
+  std::thread serve_thread([&server] { server.serve(); });
+
+  // Health, then a full job round-trip over the wire.
+  const RawResponse health = raw_request(port, get("/healthz"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+
+  const RawResponse submitted = raw_request(
+      port, post("/jobs", R"({"bench": "fast", "config": {"accesses": 7}})"));
+  ASSERT_EQ(submitted.status, 202) << submitted.body;
+  const auto sub = json::parse(submitted.body);
+  ASSERT_TRUE(sub.has_value());
+  const std::string id = sub->find("id")->as_string();
+  std::string state;
+  std::string status_body;
+  for (int i = 0; i < 2000; ++i) {
+    const RawResponse status = raw_request(port, get("/jobs/" + id));
+    EXPECT_EQ(status.status, 200);
+    const auto v = json::parse(status.body);
+    ASSERT_TRUE(v.has_value());
+    state = v->find("state")->as_string();
+    if (state == "done") {
+      status_body = status.body;
+      break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(state, "done");
+  EXPECT_NE(status_body.find("ran with accesses=7"), std::string::npos);
+
+  // Protocol errors handled per-connection without wedging the server.
+  EXPECT_EQ(raw_request(port, "BOGUS\r\n\r\n").status, 400);
+  EXPECT_EQ(raw_request(port, get("/no-such")).status, 404);
+  EXPECT_EQ(raw_request(port,
+                        "POST /jobs HTTP/1.1\r\nHost: x\r\n"
+                        "Transfer-Encoding: chunked\r\n\r\n")
+                .status,
+            411);
+
+  server.request_stop();
+  serve_thread.join();
+  svc.begin_drain();
+  svc.drain();
+}
+
+TEST(HttpServer, OversizedRequestGets413) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  fx.release.set_value();
+  HttpServer::Options opts;
+  opts.port = 0;
+  opts.max_request_bytes = 512;
+  HttpServer server(opts, [&svc](const HttpRequest& req) {
+    return svc.handle(req);
+  });
+  std::thread serve_thread([&server] { server.serve(); });
+  // Declare an oversized body but never send it: the server must refuse
+  // after the head (and before the client could flood it).
+  const RawResponse resp = raw_request(
+      server.port(),
+      "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4096\r\n\r\n");
+  EXPECT_EQ(resp.status, 413);
+  server.request_stop();
+  serve_thread.join();
+  svc.drain();
+}
+
+TEST(HttpServer, RequestStopBeforeServeReturnsImmediately) {
+  HttpServer server({}, [](const HttpRequest&) { return HttpResponse{}; });
+  server.request_stop();
+  server.serve();  // must return without ever accepting
+}
+
+}  // namespace
+}  // namespace hmcc::service

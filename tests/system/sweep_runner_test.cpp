@@ -99,6 +99,24 @@ TEST(SweepRunner, PropagatesWorkerExceptions) {
       std::invalid_argument);
 }
 
+TEST(SweepRunner, RethrowsLowestFailingIndexDeterministically) {
+  // With several failing indices the claim loop may see them in any order
+  // across threads; the caller must still always get the LOWEST failing
+  // index's exception so error reports don't depend on scheduling.
+  for (int round = 0; round < 20; ++round) {
+    SweepRunner runner(4);
+    try {
+      runner.for_each_index(100, [](std::size_t i) {
+        throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+      // Index 0 always fails and always runs, so its exception must win.
+      EXPECT_STREQ(e.what(), "0") << "round " << round;
+    }
+  }
+}
+
 TEST(SweepRunner, ZeroSelectsHardwareConcurrency) {
   EXPECT_GE(SweepRunner(0).threads(), 1u);
   EXPECT_EQ(SweepRunner(7).threads(), 7u);
