@@ -84,6 +84,10 @@ const std::vector<KnobInfo>& suite_knob_info() {
       {"cycles_per_flit", "uint", "platform", "link cycles per FLIT"},
       {"mode", "enum", "platform",
        "datapath: none|conventional|dmc-only|coalescer"},
+      {"metrics", "bool", "platform", "build per-System metrics registry"},
+      {"trace_json", "string", "platform",
+       "chrome://tracing output path (\"\" disables)"},
+      {"trace_events", "uint", "platform", "trace event buffer cap"},
   };
   return knobs;
 }

@@ -16,6 +16,10 @@ system::JobOutput run_bench_job(const SuiteBench& bench,
   ctx.checkpoint();
   std::vector<SuiteTask> tasks =
       bench.tasks ? bench.tasks(env) : std::vector<SuiteTask>{};
+  // Each task is one progress point for GET /jobs/<id>; the checkpoint
+  // counter over-counts by the bookkeeping checkpoints around the loop and
+  // the snapshot clamps it to this total.
+  ctx.set_points_total(tasks.size());
   // The checkpoint before each task is the cooperative timeout/cancel
   // boundary: a timed-out job stops claiming new points, in-flight points
   // finish (SweepRunner's failure path), and the JobManager maps the

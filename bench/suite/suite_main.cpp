@@ -16,15 +16,19 @@
 // (same envs, same per-bench input-order collection, LPT only reorders the
 // work queue), for any threads=.
 //
-// Usage: bench_suite [--smoke] [--list] [key=value ...]
+// Usage: bench_suite [--smoke] [--list] [--metrics PATH] [key=value ...]
 //   --smoke         tiny workloads (accesses=500 default) for CI sanity
 //   --list          print registered bench names and exit
+//   --metrics PATH  write a final Prometheus snapshot of the suite run
+//                   (per-bench wall time and task counts) to PATH; stdout
+//                   and CSVs are untouched by the flag
 //   only=a,b,c      run only the named benches
 //   csvdir=DIR      write CSVs into DIR instead of the working directory
 //   nocsv=1         disable CSV output entirely
 //   threads=N       pool size (0 = hardware_concurrency), plus every
 //                   bench/platform knob from bench_util.hpp
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -32,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "suite/registry.hpp"
 
 namespace {
@@ -40,6 +45,21 @@ using namespace hmcc;
 using namespace hmcc::bench;
 
 constexpr std::uint64_t kSmokeAccesses = 500;
+
+/// Atomic snapshot write (temp file + rename), same publication discipline
+/// as obs::TraceWriter: a crash mid-write never leaves a torn file behind.
+bool write_text_file(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
 
 std::vector<std::string> split_csv_list(const std::string& s) {
   std::vector<std::string> out;
@@ -60,12 +80,19 @@ int main(int argc, char** argv) {
   // Flags first; everything else is key=value shared by all benches.
   bool smoke = false;
   bool list = false;
+  std::string metrics_path;
   std::vector<const char*> kv_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --metrics requires a path argument\n");
+        return 2;
+      }
+      metrics_path = argv[++i];
     } else {
       kv_args.push_back(argv[i]);
     }
@@ -161,8 +188,16 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "bench_suite: %zu benches, %zu points, %u threads\n",
                scheduled.size(), total_tasks, pool.threads());
 
+  // Observability snapshot: wall time is measured suite-start -> bench
+  // collection complete, so a bench's number includes the queueing it
+  // actually experienced. Collected only when --metrics was given; the
+  // output paths below never see the flag.
+  const auto suite_start = std::chrono::steady_clock::now();
+  obs::MetricsRegistry suite_reg;
+
   int failures = 0;
   for (Scheduled& s : scheduled) {
+    const std::size_t bench_tasks = s.futures.size();
     try {
       std::vector<std::any> results;
       results.reserve(s.futures.size());
@@ -172,6 +207,21 @@ int main(int argc, char** argv) {
            s.bench->paper_note.c_str());
       if (s.bench->epilogue) {
         std::fputs(s.bench->epilogue(s.env, results).c_str(), stdout);
+      }
+      if (!metrics_path.empty()) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - suite_start;
+        const obs::Labels labels{{"bench", s.bench->name}};
+        suite_reg
+            .gauge_family("hmcc_suite_bench_seconds",
+                          "Suite start to bench collection complete")
+            .with(labels)
+            .set(elapsed.count());
+        suite_reg
+            .counter_family("hmcc_suite_bench_tasks",
+                            "Sweep points the bench scheduled")
+            .with(labels)
+            .inc(bench_tasks);
       }
     } catch (const std::exception& e) {
       // Drain this bench's remaining futures so later benches still report.
@@ -185,6 +235,28 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "error: bench %s failed: %s\n",
                    s.bench->name.c_str(), e.what());
+      ++failures;
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - suite_start;
+    suite_reg.gauge("hmcc_suite_wall_seconds", "Total suite wall time")
+        .set(elapsed.count());
+    suite_reg
+        .counter("hmcc_suite_points_total", "Sweep points across all benches")
+        .inc(total_tasks);
+    suite_reg.counter("hmcc_suite_benches_total", "Benches run")
+        .inc(scheduled.size());
+    suite_reg.counter("hmcc_suite_failures_total", "Benches that failed")
+        .inc(static_cast<std::uint64_t>(failures));
+    suite_reg
+        .gauge("hmcc_suite_threads", "Thread pool size used for the sweep")
+        .set(static_cast<double>(pool.threads()));
+    if (!write_text_file(metrics_path, suite_reg.render_prometheus())) {
+      std::fprintf(stderr, "error: could not write metrics to %s\n",
+                   metrics_path.c_str());
       ++failures;
     }
   }

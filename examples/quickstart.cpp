@@ -4,6 +4,8 @@
 //
 // Usage: quickstart [workload=stream] [accesses=20000] [seed=1]
 //        [mode=coalescer|conventional|dmc-only|none]
+//        [metrics_out=PATH]   write the coalesced run's Prometheus counters
+//        [trace_json=PATH]    write a chrome://tracing span file of the run
 #include <cstdio>
 
 #include "common/config.hpp"
@@ -40,6 +42,9 @@ int main(int argc, char** argv) {
 
   system::SystemConfig full = base;
   system::apply_mode(full, system::CoalescerMode::kFull);
+  const std::string metrics_out = cli.get_string("metrics_out", "");
+  full.obs.metrics = !metrics_out.empty();
+  full.obs.trace_json = cli.get_string("trace_json", "");
   const auto coalesced = system::run_workload(workload, full, params);
 
   const auto& b = baseline.report;
@@ -86,5 +91,19 @@ int main(int argc, char** argv) {
               speedup * 100.0);
   std::printf("requests eliminated: %.2f%% (paper avg: 47.47%%)\n",
               c.coalescing_efficiency() * 100.0);
+
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fputs(coalesced.metrics_text.c_str(), f);
+    std::fclose(f);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!full.obs.trace_json.empty()) {
+    std::printf("trace written to %s\n", full.obs.trace_json.c_str());
+  }
   return 0;
 }

@@ -52,7 +52,16 @@ BENCHES="$(curl -fsS "$BASE/benches")"
 grep -q '"fig08"' <<<"$BENCHES" || fail "fig08 missing from /benches"
 grep -q '"knobs"' <<<"$BENCHES" || fail "knob metadata missing from /benches"
 
-# 2. Submit a small real job and poll it to completion.
+# 2. First metrics scrape: valid exposition, nothing admitted yet.
+METRICS0="$(curl -fsS "$BASE/metrics")"
+grep -q '^# TYPE hmcc_jobs_admitted_total counter$' <<<"$METRICS0" || \
+  fail "missing TYPE line in /metrics"
+grep -q '^hmcc_jobs_admitted_total 0$' <<<"$METRICS0" || \
+  fail "expected zero admitted jobs at startup"
+grep -q '^hmcc_pool_job_workers 1$' <<<"$METRICS0" || \
+  fail "pool gauges missing from /metrics"
+
+# 3. Submit a small real job and poll it to completion.
 SUBMIT="$(curl -fsS -X POST "$BASE/jobs" \
   -d '{"bench": "fig10", "config": {"accesses": 500}, "timeout_ms": 120000}')"
 JOB_ID="$(sed -n 's/.*"id":"\([0-9]*\)".*/\1/p' <<<"$SUBMIT")"
@@ -60,9 +69,17 @@ JOB_ID="$(sed -n 's/.*"id":"\([0-9]*\)".*/\1/p' <<<"$SUBMIT")"
 echo "submitted job $JOB_ID"
 
 STATE=""
+LAST_DONE=0
 for _ in $(seq 1 600); do
   STATUS="$(curl -fsS "$BASE/jobs/$JOB_ID")"
   STATE="$(sed -n 's/.*"state":"\([a-z]*\)".*/\1/p' <<<"$STATUS")"
+  # Progress must be monotonically non-decreasing across polls.
+  DONE="$(sed -n 's/.*"points_done":\([0-9]*\).*/\1/p' <<<"$STATUS")"
+  if [[ -n "$DONE" ]]; then
+    [[ "$DONE" -ge "$LAST_DONE" ]] || \
+      fail "points_done went backwards: $LAST_DONE -> $DONE"
+    LAST_DONE="$DONE"
+  fi
   [[ "$STATE" == "done" ]] && break
   [[ "$STATE" == "failed" || "$STATE" == "timeout" ]] && \
     fail "job $JOB_ID reached $STATE: $STATUS"
@@ -71,9 +88,25 @@ done
 [[ "$STATE" == "done" ]] || fail "job $JOB_ID never finished (state=$STATE)"
 grep -q '16B-load share' <<<"$STATUS" || fail "payload missing bench text"
 grep -q '"csv":"' <<<"$STATUS" || fail "payload missing CSV"
-echo "job $JOB_ID done with full payload"
+TOTAL="$(sed -n 's/.*"points_total":\([0-9]*\).*/\1/p' <<<"$STATUS")"
+[[ -n "$TOTAL" && "$TOTAL" -gt 0 ]] || fail "no points_total in: $STATUS"
+[[ "$LAST_DONE" -eq "$TOTAL" ]] || \
+  fail "finished job reports $LAST_DONE/$TOTAL points"
+echo "job $JOB_ID done with full payload ($LAST_DONE/$TOTAL points)"
 
-# 3. Submit another job and SIGTERM while it is in flight: the daemon must
+# 4. Counters moved: one admitted, one done, HTTP requests accounted.
+METRICS1="$(curl -fsS "$BASE/metrics")"
+grep -q '^hmcc_jobs_admitted_total 1$' <<<"$METRICS1" || \
+  fail "admitted counter did not move"
+grep -q '^hmcc_jobs_done_total 1$' <<<"$METRICS1" || \
+  fail "done counter did not move"
+grep -q 'hmcc_http_requests_total{code="200",path="/jobs/{id}"}' \
+  <<<"$METRICS1" || fail "HTTP route counters missing"
+grep -q '^hmcc_http_request_duration_seconds_bucket{le="+Inf"}' \
+  <<<"$METRICS1" || fail "HTTP latency histogram missing"
+echo "metrics scrape OK (job + HTTP counters moved)"
+
+# 5. Submit another job and SIGTERM while it is in flight: the daemon must
 #    drain the admitted job to a terminal state and exit 0.
 curl -fsS -X POST "$BASE/jobs" \
   -d '{"bench": "fig10", "config": {"accesses": 500}}' > /dev/null

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace hmcc::cache {
 
 Hierarchy::Hierarchy(const HierarchyConfig& cfg)
@@ -99,6 +101,38 @@ void Hierarchy::reset() {
   for (auto& c : l1_) c->reset();
   for (auto& c : l2_) c->reset();
   llc_->reset();
+}
+
+void Hierarchy::publish_metrics(obs::MetricsRegistry& reg) const {
+  obs::Family<obs::Counter>& hits =
+      reg.counter_family("hmcc_cache_hits_total", "Cache hits per level");
+  obs::Family<obs::Counter>& misses =
+      reg.counter_family("hmcc_cache_misses_total", "Cache misses per level");
+  obs::Family<obs::Counter>& evictions = reg.counter_family(
+      "hmcc_cache_evictions_total", "Cache evictions per level");
+  obs::Family<obs::Counter>& writebacks = reg.counter_family(
+      "hmcc_cache_writebacks_total", "Dirty write-backs per level");
+
+  auto publish = [&](const char* level, const CacheStats& s) {
+    const obs::Labels labels{{"level", level}};
+    hits.with(labels).inc(s.hits);
+    misses.with(labels).inc(s.misses);
+    evictions.with(labels).inc(s.evictions);
+    writebacks.with(labels).inc(s.writebacks);
+  };
+
+  CacheStats l1_sum, l2_sum;
+  auto accumulate = [](CacheStats& into, const CacheStats& s) {
+    into.hits += s.hits;
+    into.misses += s.misses;
+    into.evictions += s.evictions;
+    into.writebacks += s.writebacks;
+  };
+  for (const auto& c : l1_) accumulate(l1_sum, c->stats());
+  for (const auto& c : l2_) accumulate(l2_sum, c->stats());
+  publish("l1", l1_sum);
+  publish("l2", l2_sum);
+  publish("llc", llc_->stats());
 }
 
 }  // namespace hmcc::cache

@@ -25,6 +25,10 @@
 #include "cache/config.hpp"
 #include "common/types.hpp"
 
+namespace hmcc::obs {
+class MetricsRegistry;
+}  // namespace hmcc::obs
+
 namespace hmcc::cache {
 
 /// Where an access was satisfied.
@@ -67,6 +71,11 @@ class Hierarchy {
   [[nodiscard]] const Cache& llc() const noexcept { return *llc_; }
 
   void reset();
+
+  /// Publish per-level cache counters into @p reg as the
+  /// `hmcc_cache_*{level=...}` families. L1/L2 are summed across cores
+  /// (level="l1"/"l2"); the shared LLC is level="llc".
+  void publish_metrics(obs::MetricsRegistry& reg) const;
 
  private:
   HierarchyConfig cfg_;

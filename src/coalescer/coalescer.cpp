@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/bits.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_writer.hpp"
 
 namespace hmcc::coalescer {
 
@@ -87,7 +89,10 @@ void MemoryCoalescer::arm_timeout() {
   kernel_.schedule(cfg_.timeout, [this, gen] {
     if (gen != timeout_gen_) return;  // superseded by a flush or re-arm
     timeout_armed_ = false;
-    if (!window_.empty()) flush_window();
+    if (!window_.empty()) {
+      ++stats_.timeout_flushes;
+      flush_window();
+    }
   });
 }
 
@@ -120,6 +125,11 @@ void MemoryCoalescer::flush_window() {
     DmcResult res = dmc_.coalesce(batch, start);
     const Cycle busy = res.finished_at - start;
     stats_.dmc_latency.add(static_cast<double>(busy));
+    if (trace_ != nullptr) {
+      trace_->complete("dmc_batch", "coalescer",
+                       static_cast<double>(start) * arch::kNsPerCycle,
+                       static_cast<double>(busy) * arch::kNsPerCycle);
+    }
     kernel_.schedule_at(
         res.finished_at,
         [this, packets = std::move(res.packets), busy]() mutable {
@@ -190,6 +200,11 @@ void MemoryCoalescer::drain_crq() {
     }
     break;  // wait for an on_memory_response() to free an entry
   }
+  if (trace_ != nullptr) {
+    trace_->counter("crq_occupancy",
+                    static_cast<double>(kernel_.now()) * arch::kNsPerCycle,
+                    static_cast<double>(crq_.size() + crq_overflow_.size()));
+  }
   maybe_release_fence();
 }
 
@@ -258,6 +273,57 @@ void MemoryCoalescer::on_memory_response(ReqId id) {
 bool MemoryCoalescer::idle() const noexcept {
   return window_.empty() && crq_.empty() && crq_overflow_.empty() &&
          mshrs_.in_use() == 0 && !fence_pending_ && in_flight_inputs_ == 0;
+}
+
+void publish_metrics(const CoalescerStats& stats, obs::MetricsRegistry& reg) {
+  reg.counter("hmcc_coalescer_raw_requests_total",
+              "Raw LLC misses / write-backs submitted to the coalescer")
+      .inc(stats.raw_requests);
+  reg.counter("hmcc_coalescer_memory_requests_total",
+              "Coalesced packets actually issued to the HMC device")
+      .inc(stats.memory_requests);
+  reg.counter("hmcc_coalescer_batches_total",
+              "Request-window batches flushed into the sorting pipeline")
+      .inc(stats.batches);
+  reg.counter("hmcc_coalescer_timeout_flushes_total",
+              "Window batches flushed by the timeout rather than filling")
+      .inc(stats.timeout_flushes);
+  reg.counter("hmcc_coalescer_bypassed_total",
+              "Raw requests that took the stage-select bypass (sec. 4.2)")
+      .inc(stats.bypassed);
+  reg.counter("hmcc_coalescer_crq_merges_total",
+              "Packets merged in place while waiting in the CRQ")
+      .inc(stats.crq_merges);
+  reg.counter("hmcc_coalescer_packets_to_crq_total",
+              "Packets pushed into the coalesced-request queue")
+      .inc(stats.packets_to_crq);
+  reg.counter("hmcc_coalescer_fences_total", "Memory fences drained")
+      .inc(stats.fences);
+  reg.gauge("hmcc_coalescer_efficiency",
+            "Fraction of raw requests eliminated before the HMC (Fig 8)")
+      .set(stats.coalescing_efficiency());
+
+  // The paper's packet-size distribution (Fig 9): bucket upper bounds are
+  // the three legal HMC payload sizes.
+  obs::Histogram& sizes = reg.histogram(
+      "hmcc_coalescer_packet_bytes", {64.0, 128.0, 256.0},
+      "Issued packet payload size in bytes");
+  sizes.observe_many(64.0, stats.size_64);
+  sizes.observe_many(128.0, stats.size_128);
+  sizes.observe_many(256.0, stats.size_256);
+
+  reg.gauge("hmcc_coalescer_dmc_latency_cycles_avg",
+            "Mean cycles a batch spends in the DMC unit (Fig 12)")
+      .set(stats.dmc_latency.mean());
+  reg.gauge("hmcc_coalescer_crq_fill_cycles_avg",
+            "Mean cycles to produce CRQ-capacity packets (Fig 13)")
+      .set(stats.crq_fill_time.mean());
+  reg.gauge("hmcc_coalescer_front_latency_cycles_avg",
+            "Mean submit-to-CRQ latency in cycles (Fig 14)")
+      .set(stats.front_latency.mean());
+  reg.gauge("hmcc_coalescer_request_latency_cycles_avg",
+            "Mean submit-to-issue/merge latency in cycles")
+      .set(stats.request_latency.mean());
 }
 
 }  // namespace hmcc::coalescer

@@ -36,12 +36,18 @@
 #include "common/types.hpp"
 #include "sim/kernel.hpp"
 
+namespace hmcc::obs {
+class MetricsRegistry;
+class TraceWriter;
+}  // namespace hmcc::obs
+
 namespace hmcc::coalescer {
 
 struct CoalescerStats {
   std::uint64_t raw_requests = 0;
   std::uint64_t fences = 0;
   std::uint64_t batches = 0;
+  std::uint64_t timeout_flushes = 0;   ///< batches flushed by window timeout
   std::uint64_t packets_to_crq = 0;
   std::uint64_t memory_requests = 0;   ///< actually issued to HMC
   std::uint64_t bypassed = 0;          ///< raw requests that skipped the pipe
@@ -89,6 +95,11 @@ class MemoryCoalescer {
 
   /// Completion for packet @p id previously passed to IssueFn.
   void on_memory_response(ReqId id);
+
+  /// Attach a chrome-trace writer (nullptr detaches). The coalescer emits
+  /// "dmc_batch" spans and "crq_occupancy" counter events. When no writer is
+  /// attached, instrumentation reduces to one pointer test per site.
+  void set_trace(obs::TraceWriter* trace) noexcept { trace_ = trace; }
 
   [[nodiscard]] const CoalescerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const CoalescerConfig& config() const noexcept { return cfg_; }
@@ -143,6 +154,13 @@ class MemoryCoalescer {
 
   std::uint64_t in_flight_inputs_ = 0;
   CoalescerStats stats_;
+  obs::TraceWriter* trace_ = nullptr;
 };
+
+/// Publish the coalescer's paper counters into @p reg under the
+/// `hmcc_coalescer_*` namespace (coalesced-vs-raw counts, the packet-size
+/// histogram, window timeout flushes, bypass events, CRQ in-place merges,
+/// and the Fig 12-14 latency means).
+void publish_metrics(const CoalescerStats& stats, obs::MetricsRegistry& reg);
 
 }  // namespace hmcc::coalescer

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bits.hpp"
+#include "obs/metrics.hpp"
 
 namespace hmcc::coalescer {
 
@@ -236,6 +237,26 @@ void DynamicMshrFile::reset() {
   used_ = 0;
   next_issue_id_ = 1;
   stats_ = DynMshrStats{};
+}
+
+void publish_metrics(const DynMshrStats& stats, obs::MetricsRegistry& reg) {
+  reg.counter("hmcc_mshr_allocations_total",
+              "Dynamic MSHR entries allocated")
+      .inc(stats.allocations);
+  reg.counter("hmcc_mshr_full_merges_total",
+              "Packets absorbed entirely by in-flight entries (Fig 6 A)")
+      .inc(stats.full_merges);
+  reg.counter("hmcc_mshr_partial_merges_total",
+              "Packets split across in-flight entries (Fig 6 B)")
+      .inc(stats.partial_merges);
+  reg.counter("hmcc_mshr_merged_constituents_total",
+              "Constituent requests attached as subentries")
+      .inc(stats.merged_constituents);
+  reg.counter("hmcc_mshr_rejects_full_total",
+              "Insertions refused because the file was full")
+      .inc(stats.rejects_full);
+  reg.counter("hmcc_mshr_frees_total", "Entries freed on fill")
+      .inc(stats.frees);
 }
 
 }  // namespace hmcc::coalescer

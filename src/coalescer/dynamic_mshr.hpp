@@ -26,6 +26,10 @@
 #include "coalescer/request.hpp"
 #include "common/types.hpp"
 
+namespace hmcc::obs {
+class MetricsRegistry;
+}  // namespace hmcc::obs
+
 namespace hmcc::coalescer {
 
 struct DynMshrStats {
@@ -119,5 +123,9 @@ class DynamicMshrFile {
   ReqId next_issue_id_ = 1;
   DynMshrStats stats_;
 };
+
+/// Publish the dynamic-MSHR counters into @p reg (`hmcc_mshr_*` namespace:
+/// allocations, full/partial second-phase merges, full-file rejections).
+void publish_metrics(const DynMshrStats& stats, obs::MetricsRegistry& reg);
 
 }  // namespace hmcc::coalescer

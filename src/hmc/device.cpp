@@ -1,7 +1,10 @@
 #include "hmc/device.hpp"
 
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace hmcc::hmc {
 
@@ -80,6 +83,53 @@ void HmcDevice::reset_stats() {
   wire_ = HmcStats{};
   for (Vault& v : vaults_) v.reset();
   for (Link& l : links_) l.reset();
+}
+
+void publish_metrics(const HmcStats& stats, obs::MetricsRegistry& reg) {
+  reg.counter("hmcc_hmc_reads_total", "Read transactions submitted")
+      .inc(stats.reads);
+  reg.counter("hmcc_hmc_writes_total", "Write transactions submitted")
+      .inc(stats.writes);
+  reg.counter("hmcc_hmc_payload_bytes_total",
+              "Data bytes carried by all packets")
+      .inc(stats.payload_bytes);
+  reg.counter("hmcc_hmc_transferred_bytes_total",
+              "Payload plus control bytes on the wire")
+      .inc(stats.transferred_bytes);
+  reg.counter("hmcc_hmc_control_bytes_total", "Control bytes on the wire")
+      .inc(stats.control_bytes);
+  reg.counter("hmcc_hmc_bank_conflicts_total",
+              "Requests that waited on a busy bank")
+      .inc(stats.bank_conflicts);
+  reg.counter("hmcc_hmc_row_activations_total", "DRAM row activations")
+      .inc(stats.row_activations);
+  reg.counter("hmcc_hmc_row_hits_total", "Accesses served from an open row")
+      .inc(stats.row_hits);
+  reg.gauge("hmcc_hmc_bandwidth_efficiency",
+            "Requested / transferred bytes (paper Eq. 1)")
+      .set(stats.bandwidth_efficiency());
+  reg.gauge("hmcc_hmc_latency_cycles_avg",
+            "Mean end-to-end transaction latency in cycles")
+      .set(stats.latency.mean());
+}
+
+void HmcDevice::publish_metrics(obs::MetricsRegistry& reg) const {
+  hmc::publish_metrics(stats(), reg);
+  obs::Family<obs::Counter>& served = reg.counter_family(
+      "hmcc_hmc_vault_requests_total", "Requests served per vault");
+  obs::Family<obs::Counter>& conflicts = reg.counter_family(
+      "hmcc_hmc_vault_bank_conflicts_total", "Bank conflicts per vault");
+  obs::Family<obs::Counter>& activations = reg.counter_family(
+      "hmcc_hmc_vault_row_activations_total", "Row activations per vault");
+  obs::Family<obs::Counter>& hits = reg.counter_family(
+      "hmcc_hmc_vault_row_hits_total", "Row hits per vault");
+  for (const Vault& v : vaults_) {
+    const obs::Labels labels{{"vault", std::to_string(v.index())}};
+    served.with(labels).inc(v.requests_served());
+    conflicts.with(labels).inc(v.bank_conflicts());
+    activations.with(labels).inc(v.row_activations());
+    hits.with(labels).inc(v.row_hits());
+  }
 }
 
 }  // namespace hmcc::hmc

@@ -21,6 +21,10 @@
 #include "hmc/vault.hpp"
 #include "sim/kernel.hpp"
 
+namespace hmcc::obs {
+class MetricsRegistry;
+}  // namespace hmcc::obs
+
 namespace hmcc::hmc {
 
 /// Device-level traffic statistics (wire accounting).
@@ -44,6 +48,11 @@ struct HmcStats {
   }
 };
 
+/// Publish the device-wide wire counters into @p reg (`hmcc_hmc_*`:
+/// reads/writes, payload vs transferred bytes, bank conflicts, row
+/// activations/hits, bandwidth efficiency, mean latency).
+void publish_metrics(const HmcStats& stats, obs::MetricsRegistry& reg);
+
 class HmcDevice {
  public:
   using ResponseCallback = std::function<void(const ResponsePacket&)>;
@@ -66,6 +75,11 @@ class HmcDevice {
   }
 
   void reset_stats();
+
+  /// Publish device-wide wire counters plus a per-vault labeled family
+  /// (`hmcc_hmc_vault_*{vault="N"}`: requests served, bank conflicts, row
+  /// activations/hits) into @p reg.
+  void publish_metrics(obs::MetricsRegistry& reg) const;
 
  private:
   Kernel& kernel_;

@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+
+namespace hmcc::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i] &&
+           "histogram bounds must be strictly increasing");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe_many(double v, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  const double add = v * static_cast<double>(n);
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next =
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + add);
+    if (sum_bits_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+template <typename T>
+Family<T>& MetricsRegistry::family(const std::string& name,
+                                   const std::string& help,
+                                   std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    auto fam = std::unique_ptr<Family<T>>(
+        new Family<T>(name, help, std::move(bounds)));
+    Family<T>& ref = *fam;
+    entries_.emplace(name, std::move(fam));
+    return ref;
+  }
+  auto* held = std::get_if<std::unique_ptr<Family<T>>>(&it->second);
+  if (held == nullptr) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different type");
+  }
+  return **held;
+}
+
+Family<Counter>& MetricsRegistry::counter_family(const std::string& name,
+                                                 const std::string& help) {
+  return family<Counter>(name, help);
+}
+
+Family<Gauge>& MetricsRegistry::gauge_family(const std::string& name,
+                                             const std::string& help) {
+  return family<Gauge>(name, help);
+}
+
+Family<Histogram>& MetricsRegistry::histogram_family(
+    const std::string& name, std::vector<double> bounds,
+    const std::string& help) {
+  return family<Histogram>(name, help, std::move(bounds));
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return 0;
+  const auto* fam = std::get_if<std::unique_ptr<Family<Counter>>>(&it->second);
+  if (fam == nullptr) return 0;
+  std::lock_guard<std::mutex> child_lock((*fam)->mu_);
+  const auto child = (*fam)->children_.find(labels);
+  return child == (*fam)->children_.end() ? 0 : child->second->value();
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  // Integral values (the overwhelmingly common case for sim counters)
+  // print as plain integers; everything else gets the shortest string
+  // that round-trips.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, end) : std::string("0");
+}
+
+namespace {
+
+/// "# HELP name ..." with newline/backslash escaped per the format spec.
+std::string escape_help(const std::string& h) {
+  std::string out;
+  out.reserve(h.size());
+  for (const char c : h) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `{a="x",b="y"}`, or "" for the unlabeled child. @p extra appends one
+/// more pair (histogram `le`) without building a temporary Labels copy.
+std::string label_block(const Labels& labels,
+                        const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first + "=\"" + escape_label_value(extra->second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void render_header(std::string& out, const std::string& name,
+                   const std::string& help, const char* type) {
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + escape_help(help) + "\n";
+  }
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (const auto* cf =
+            std::get_if<std::unique_ptr<Family<Counter>>>(&entry)) {
+      const auto& fam = **cf;
+      std::lock_guard<std::mutex> child_lock(fam.mu_);
+      render_header(out, name, fam.help_, "counter");
+      for (const auto& [labels, c] : fam.children_) {
+        out += name + label_block(labels, nullptr) + " " +
+               std::to_string(c->value()) + "\n";
+      }
+    } else if (const auto* gf =
+                   std::get_if<std::unique_ptr<Family<Gauge>>>(&entry)) {
+      const auto& fam = **gf;
+      std::lock_guard<std::mutex> child_lock(fam.mu_);
+      render_header(out, name, fam.help_, "gauge");
+      for (const auto& [labels, g] : fam.children_) {
+        out += name + label_block(labels, nullptr) + " " +
+               format_double(g->value()) + "\n";
+      }
+    } else if (const auto* hf =
+                   std::get_if<std::unique_ptr<Family<Histogram>>>(&entry)) {
+      const auto& fam = **hf;
+      std::lock_guard<std::mutex> child_lock(fam.mu_);
+      render_header(out, name, fam.help_, "histogram");
+      for (const auto& [labels, h] : fam.children_) {
+        // _count is rendered from the summed buckets, not the separate
+        // count_ atomic: bucket counters and count_ are independent relaxed
+        // atomics, and the exposition invariant le="+Inf" == _count must
+        // hold even for a scrape racing concurrent observes.
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+          cumulative += h->bucket_count(i);
+          const std::pair<std::string, std::string> le{
+              "le", i < h->bounds().size() ? format_double(h->bounds()[i])
+                                           : std::string("+Inf")};
+          out += name + "_bucket" + label_block(labels, &le) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum" + label_block(labels, nullptr) + " " +
+               format_double(h->sum()) + "\n";
+        out += name + "_count" + label_block(labels, nullptr) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hmcc::obs

@@ -11,6 +11,9 @@
 //     max_queued_jobs=N admission bound; beyond it POST /jobs answers 429
 //                       (default 8)
 //     timeout_ms=N      default per-job wall-clock budget (0 = unlimited)
+//     max_job_history=N terminal jobs kept for GET /jobs/<id>; older ones
+//                       are evicted and answer 404 {"error":"evicted"}
+//                       (default 256; 0 = unbounded)
 //
 // SIGTERM/SIGINT stop the accept loop, drain every admitted job to a
 // terminal state, and exit 0 — an in-flight job finishing during the drain
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   job_opts.max_queued_jobs = cli.get_uint("max_queued_jobs", 8);
   job_opts.default_timeout =
       std::chrono::milliseconds(cli.get_uint("timeout_ms", 0));
+  job_opts.max_job_history = cli.get_uint("max_job_history", 256);
 
   service::BenchService svc(bench::service_benches(), job_opts,
                             bench::knob_metadata_json());

@@ -55,12 +55,31 @@ json::Value snapshot_to_json(const system::JobSnapshot& snap) {
       {"bench", snap.name},
       {"state", to_string(snap.state)},
       {"timeout_ms", static_cast<std::int64_t>(snap.timeout.count())},
+      {"points_done", static_cast<std::int64_t>(snap.points_done)},
+      {"points_total", static_cast<std::int64_t>(snap.points_total)},
   };
   if (snap.state == system::JobState::kDone) {
     o.emplace_back("text", snap.output.text);
     o.emplace_back("csv", snap.output.csv);
   }
   if (!snap.error.empty()) o.emplace_back("error", snap.error);
+  return o;
+}
+
+/// Bounded-cardinality route label for the HTTP metrics: concrete job ids
+/// must not mint one time series each.
+const char* route_label(const std::string& target) {
+  if (target == "/benches") return "/benches";
+  if (target == "/healthz") return "/healthz";
+  if (target == "/metrics") return "/metrics";
+  if (target == "/jobs") return "/jobs";
+  if (target.rfind("/jobs/", 0) == 0) return "/jobs/{id}";
+  return "other";
+}
+
+system::JobManager::Options bind_registry(system::JobManager::Options o,
+                                          obs::MetricsRegistry* reg) {
+  o.metrics = reg;  // the service's registry IS the process registry
   return o;
 }
 
@@ -71,9 +90,30 @@ BenchService::BenchService(std::vector<ServiceBench> benches,
                            json::Value knob_metadata)
     : benches_(std::move(benches)),
       knob_metadata_(std::move(knob_metadata)),
-      jobs_(options) {}
+      http_requests_(&registry_.counter_family(
+          "hmcc_http_requests_total",
+          "HTTP requests handled, by route and status code")),
+      http_latency_(&registry_.histogram(
+          "hmcc_http_request_duration_seconds",
+          {0.001, 0.01, 0.1, 1.0, 10.0}, "Request handling latency")),
+      jobs_(bind_registry(options, &registry_)) {}
 
 HttpResponse BenchService::handle(const HttpRequest& req) {
+  const auto start = std::chrono::steady_clock::now();
+  HttpResponse resp = route(req);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  // Instrumentation after the fact: a /metrics scrape shows up in the
+  // counters from the NEXT scrape onward.
+  http_requests_
+      ->with({{"code", std::to_string(resp.status)},
+              {"path", route_label(req.target)}})
+      .inc();
+  http_latency_->observe(elapsed.count());
+  return resp;
+}
+
+HttpResponse BenchService::route(const HttpRequest& req) {
   try {
     if (req.target == "/benches") {
       if (req.method != "GET") return error_json(405, "use GET");
@@ -82,6 +122,10 @@ HttpResponse BenchService::handle(const HttpRequest& req) {
     if (req.target == "/healthz") {
       if (req.method != "GET") return error_json(405, "use GET");
       return healthz();
+    }
+    if (req.target == "/metrics") {
+      if (req.method != "GET") return error_json(405, "use GET");
+      return metrics_exposition();
     }
     if (req.target == "/jobs") {
       if (req.method != "POST") return error_json(405, "use POST");
@@ -177,13 +221,25 @@ HttpResponse BenchService::submit_job(const HttpRequest& req) {
 
 HttpResponse BenchService::job_status(std::uint64_t id) const {
   const auto snap = jobs_.status(id);
-  if (!snap) return error_json(404, "no such job");
+  if (!snap) {
+    if (jobs_.evicted(id)) {
+      return json_response(
+          404, json::Object{
+                   {"error", "evicted"},
+                   {"detail", "job record dropped from the bounded history"},
+               });
+    }
+    return error_json(404, "no such job");
+  }
   return json_response(200, snapshot_to_json(*snap));
 }
 
 HttpResponse BenchService::cancel_job(std::uint64_t id) {
   const auto snap = jobs_.status(id);
-  if (!snap) return error_json(404, "no such job");
+  if (!snap) {
+    if (jobs_.evicted(id)) return error_json(404, "evicted");
+    return error_json(404, "no such job");
+  }
   if (!jobs_.cancel(id)) {
     return error_json(409, std::string("job already ") +
                                to_string(snap->state));
@@ -218,6 +274,36 @@ HttpResponse BenchService::healthz() const {
                {"sweep_queued", static_cast<std::int64_t>(occ.sweep_queued)},
            }},
       });
+}
+
+HttpResponse BenchService::metrics_exposition() {
+  // Gauges are sampled at scrape time; counters accumulate as events happen.
+  const auto occ = jobs_.occupancy();
+  registry_.gauge("hmcc_jobs_queued", "Jobs admitted, not yet started")
+      .set(static_cast<double>(occ.queued));
+  registry_.gauge("hmcc_jobs_running", "Jobs executing now")
+      .set(static_cast<double>(occ.running));
+  registry_.gauge("hmcc_jobs_finished", "Jobs in a terminal state, retained")
+      .set(static_cast<double>(occ.finished));
+  registry_
+      .gauge("hmcc_pool_job_workers", "Dispatch threads orchestrating jobs")
+      .set(static_cast<double>(occ.job_workers));
+  registry_
+      .gauge("hmcc_pool_admission_bound", "Admission queue capacity")
+      .set(static_cast<double>(occ.max_queued_jobs));
+  registry_.gauge("hmcc_pool_sweep_threads", "Sweep worker threads")
+      .set(static_cast<double>(occ.sweep_threads));
+  registry_.gauge("hmcc_pool_sweep_active", "Sweep tasks executing now")
+      .set(static_cast<double>(occ.sweep_active));
+  registry_
+      .gauge("hmcc_pool_sweep_queued", "Sweep tasks waiting for a worker")
+      .set(static_cast<double>(occ.sweep_queued));
+
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = registry_.render_prometheus();
+  return resp;
 }
 
 }  // namespace hmcc::service

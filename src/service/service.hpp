@@ -12,10 +12,15 @@
 //   POST   /jobs       {"bench": name, "config": {knob: value, ...},
 //                       "timeout_ms": n}  -> 202 {"id": ...} | 404 unknown
 //                      bench | 429 admission queue full | 503 draining
-//   GET    /jobs/<id>  job snapshot; terminal jobs carry the bench's text
-//                      and CSV payload
+//   GET    /jobs/<id>  job snapshot with points_done/points_total progress;
+//                      terminal jobs carry the bench's text and CSV payload.
+//                      404 {"error":"evicted"} once the bounded history
+//                      dropped the record, 404 "no such job" otherwise
 //   DELETE /jobs/<id>  cooperative cancel -> 200 | 409 already terminal
 //   GET    /healthz    occupancy: queued/running/finished jobs, pool sizes
+//   GET    /metrics    Prometheus text exposition of the process registry
+//                      (job admission/terminal-state counters, pool gauges,
+//                      HTTP request counts and latency histogram)
 #pragma once
 
 #include <atomic>
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "obs/metrics.hpp"
 #include "service/http.hpp"
 #include "service/json.hpp"
 #include "system/job_manager.hpp"
@@ -66,16 +72,29 @@ class BenchService {
 
   [[nodiscard]] system::JobManager& jobs() { return jobs_; }
 
+  /// The process-wide registry GET /metrics renders. The JobManager's
+  /// `hmcc_jobs_*` counters and the service's HTTP instrumentation both
+  /// live here; tests can read it directly.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+
  private:
   HttpResponse list_benches() const;
   HttpResponse submit_job(const HttpRequest& req);
   HttpResponse job_status(std::uint64_t id) const;
   HttpResponse cancel_job(std::uint64_t id);
   HttpResponse healthz() const;
+  HttpResponse metrics_exposition();
+  HttpResponse route(const HttpRequest& req);
 
   std::vector<ServiceBench> benches_;
   json::Value knob_metadata_;
   std::atomic<bool> draining_{false};
+  // Declared before jobs_: the JobManager holds counter references into the
+  // registry, so the registry must outlive it (destruction is reverse
+  // order).
+  obs::MetricsRegistry registry_;
+  obs::Family<obs::Counter>* http_requests_;  ///< {path, code} labels
+  obs::Histogram* http_latency_;              ///< seconds, all endpoints
   system::JobManager jobs_;
 };
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "cache/config.hpp"
 #include "coalescer/config.hpp"
@@ -41,12 +42,28 @@ struct CoreConfig {
   Cycle issue_interval = 1;                   ///< cycles between accesses
 };
 
+/// Observability knobs. Everything defaults OFF: with the defaults a System
+/// builds no registry and no trace writer, and every instrumented call site
+/// reduces to a null-pointer test — runs are byte-identical to an
+/// uninstrumented build.
+struct ObsConfig {
+  /// Build a per-System metrics registry and publish the sim counters into
+  /// it at the end of run() (System::metrics() then returns non-null).
+  bool metrics = false;
+  /// When non-empty, collect chrome://tracing events during run() and write
+  /// them to this path (atomically, temp-file + rename) when the run ends.
+  std::string trace_json;
+  /// Event cap for the trace buffer; later events are counted as dropped.
+  std::uint64_t trace_max_events = 1u << 20;
+};
+
 struct SystemConfig {
   cache::HierarchyConfig hierarchy{};  // 12 cores, 16 LLC MSHRs
   hmc::HmcConfig hmc{};                // 8 GB, 256 B blocks
   coalescer::CoalescerConfig coalescer{};
   CoreConfig core{};
   CoalescerMode mode = CoalescerMode::kFull;
+  ObsConfig obs{};
 };
 
 /// Upper bound on the delay of any ROUTINE event the simulator schedules

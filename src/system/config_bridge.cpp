@@ -73,6 +73,13 @@ bool overlay_config(const Config& cli, SystemConfig& cfg) {
   cfg.hmc.cycles_per_flit =
       cli.get_uint("cycles_per_flit", cfg.hmc.cycles_per_flit);
 
+  // Observability (defaults off: no registry, no trace, byte-identical
+  // output to an uninstrumented run).
+  cfg.obs.metrics = cli.get_bool("metrics", cfg.obs.metrics);
+  cfg.obs.trace_json = cli.get_string("trace_json", cfg.obs.trace_json);
+  cfg.obs.trace_max_events =
+      cli.get_uint("trace_events", cfg.obs.trace_max_events);
+
   // Datapath mode.
   const std::string mode = cli.get_string("mode", "");
   if (mode == "none") {
@@ -109,6 +116,7 @@ const std::vector<std::string>& platform_cli_keys() {
       "links",      "block_bytes",    "max_packet", "closed_page",
       "t_rcd",      "t_cl",           "t_rp",       "t_ras",
       "serdes",     "xbar",           "cycles_per_flit", "mode",
+      "metrics",    "trace_json",     "trace_events",
   };
   return keys;
 }

@@ -1,6 +1,9 @@
 #include "system/job_manager.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace hmcc::system {
 
@@ -22,6 +25,8 @@ bool is_terminal(JobState s) noexcept {
 }
 
 void JobContext::checkpoint() const {
+  progress_->done.fetch_add(1, std::memory_order_relaxed);
+  if (checkpoint_counter_ != nullptr) checkpoint_counter_->inc();
   if (cancelled()) throw JobCancelledError("job cancelled");
   if (timed_out()) throw JobTimeoutError("job wall-clock budget exceeded");
 }
@@ -30,7 +35,27 @@ JobManager::JobManager(const Options& opts)
     : opts_(opts),
       runner_(opts.sweep_threads),
       dispatch_(opts.job_workers == 0 ? 1 : opts.job_workers,
-                opts.max_queued_jobs) {}
+                opts.max_queued_jobs) {
+  if (opts_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *opts_.metrics;
+    counters_.admitted =
+        &reg.counter("hmcc_jobs_admitted_total", "Jobs accepted for execution");
+    counters_.rejected = &reg.counter(
+        "hmcc_jobs_rejected_total", "Jobs refused at the admission bound");
+    counters_.done =
+        &reg.counter("hmcc_jobs_done_total", "Jobs finished successfully");
+    counters_.failed =
+        &reg.counter("hmcc_jobs_failed_total", "Jobs that threw");
+    counters_.timed_out = &reg.counter(
+        "hmcc_jobs_timeout_total", "Jobs that exhausted their budget");
+    counters_.cancelled =
+        &reg.counter("hmcc_jobs_cancelled_total", "Jobs cancelled");
+    counters_.evicted = &reg.counter(
+        "hmcc_jobs_evicted_total", "Terminal jobs dropped from history");
+    counters_.checkpoints = &reg.counter(
+        "hmcc_job_checkpoints_total", "Cooperative checkpoints passed");
+  }
+}
 
 std::optional<std::uint64_t> JobManager::submit(
     std::string name, JobFn fn,
@@ -51,21 +76,27 @@ std::optional<std::uint64_t> JobManager::submit(
   if (!fut) {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.erase(id);
+    if (counters_.rejected != nullptr) counters_.rejected->inc();
     return std::nullopt;
   }
+  if (counters_.admitted != nullptr) counters_.admitted->inc();
   return id;
 }
 
 void JobManager::run_job(std::uint64_t id, const JobFn& fn) {
   std::shared_ptr<std::atomic<bool>> cancel;
+  std::shared_ptr<JobProgress> progress;
   std::chrono::milliseconds timeout{0};
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Job& job = jobs_.at(id);
     cancel = job.cancel;
+    progress = job.progress;
     if (cancel->load(std::memory_order_relaxed)) {
       job.state = JobState::kCancelled;
       job.error = "cancelled before start";
+      if (counters_.cancelled != nullptr) counters_.cancelled->inc();
+      evict_history_locked();
       return;
     }
     job.state = JobState::kRunning;
@@ -76,7 +107,8 @@ void JobManager::run_job(std::uint64_t id, const JobFn& fn) {
   // admitted: a job queued behind a long-running one must not time out
   // without having run a single task.
   const bool has_deadline = timeout.count() > 0;
-  const JobContext ctx(&runner_, cancel.get(),
+  const JobContext ctx(&runner_, cancel.get(), progress.get(),
+                       counters_.checkpoints,
                        std::chrono::steady_clock::now() + timeout,
                        has_deadline);
   JobState state = JobState::kDone;
@@ -103,6 +135,45 @@ void JobManager::run_job(std::uint64_t id, const JobFn& fn) {
   job.state = state;
   job.output = std::move(output);
   job.error = std::move(error);
+  switch (state) {
+    case JobState::kDone:
+      if (counters_.done != nullptr) counters_.done->inc();
+      break;
+    case JobState::kFailed:
+      if (counters_.failed != nullptr) counters_.failed->inc();
+      break;
+    case JobState::kTimeout:
+      if (counters_.timed_out != nullptr) counters_.timed_out->inc();
+      break;
+    case JobState::kCancelled:
+      if (counters_.cancelled != nullptr) counters_.cancelled->inc();
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // unreachable: run_job only writes terminal states
+  }
+  evict_history_locked();
+}
+
+void JobManager::evict_history_locked() {
+  if (opts_.max_job_history == 0) return;
+  std::size_t terminal = 0;
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    if (is_terminal(job.state)) ++terminal;
+  }
+  // std::map iterates in ascending id order, so the first terminal entries
+  // found are the oldest ones.
+  for (auto it = jobs_.begin();
+       terminal > opts_.max_job_history && it != jobs_.end();) {
+    if (is_terminal(it->second.state)) {
+      it = jobs_.erase(it);
+      --terminal;
+      if (counters_.evicted != nullptr) counters_.evicted->inc();
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::optional<JobSnapshot> JobManager::status(std::uint64_t id) const {
@@ -116,7 +187,21 @@ std::optional<JobSnapshot> JobManager::status(std::uint64_t id) const {
   snap.output = it->second.output;
   snap.error = it->second.error;
   snap.timeout = it->second.timeout;
+  // Relaxed loads: a poll may observe a point the job just passed, never a
+  // torn or decreasing value. Clamp to the declared plan so over-counted
+  // bookkeeping checkpoints (before/after the task loop) don't show >100%.
+  const JobProgress& p = *it->second.progress;
+  snap.points_total = p.total.load(std::memory_order_relaxed);
+  snap.points_done = p.done.load(std::memory_order_relaxed);
+  if (snap.points_total > 0) {
+    snap.points_done = std::min(snap.points_done, snap.points_total);
+  }
   return snap;
+}
+
+bool JobManager::evicted(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id > 0 && id < next_id_ && jobs_.find(id) == jobs_.end();
 }
 
 bool JobManager::cancel(std::uint64_t id) {

@@ -34,6 +34,11 @@
 #include "common/thread_pool.hpp"
 #include "system/sweep_runner.hpp"
 
+namespace hmcc::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace hmcc::obs
+
 namespace hmcc::system {
 
 /// Thrown by JobContext::checkpoint() once the job's wall-clock budget is
@@ -72,6 +77,13 @@ struct JobOutput {
   std::string csv;
 };
 
+/// Shared progress cell: written by the job thread (via JobContext), read
+/// by status() pollers without taking the manager mutex on the hot path.
+struct JobProgress {
+  std::atomic<std::uint64_t> done{0};   ///< checkpoints passed so far
+  std::atomic<std::uint64_t> total{0};  ///< planned points (0 = unknown)
+};
+
 /// Per-job view handed to the job function: the shared task fan-out runner
 /// plus the cooperative timeout/cancel checkpoint.
 class JobContext {
@@ -87,19 +99,31 @@ class JobContext {
     return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
   }
 
+  /// Declare how many work points the job plans to run; GET /jobs/<id>
+  /// then reports points_done / points_total. Optional — 0 means unknown.
+  void set_points_total(std::uint64_t n) const noexcept {
+    progress_->total.store(n, std::memory_order_relaxed);
+  }
+
   /// Throws JobCancelledError/JobTimeoutError when the job should stop;
   /// call between units of work (the bench glue calls it per sweep task).
+  /// Each call also advances the job's progress counter by one point, so
+  /// pollers see points_done grow monotonically while the job runs.
   void checkpoint() const;
 
  private:
   friend class JobManager;
   JobContext(const SweepRunner* runner, std::atomic<bool>* cancel,
+             JobProgress* progress, obs::Counter* checkpoint_counter,
              std::chrono::steady_clock::time_point deadline, bool has_deadline)
-      : runner_(runner), cancel_(cancel), deadline_(deadline),
+      : runner_(runner), cancel_(cancel), progress_(progress),
+        checkpoint_counter_(checkpoint_counter), deadline_(deadline),
         has_deadline_(has_deadline) {}
 
   const SweepRunner* runner_;
   std::atomic<bool>* cancel_;
+  JobProgress* progress_;
+  obs::Counter* checkpoint_counter_;  ///< process-wide tally (may be null)
   std::chrono::steady_clock::time_point deadline_;
   bool has_deadline_;
 };
@@ -114,6 +138,10 @@ struct JobSnapshot {
   JobOutput output;            ///< valid when state == kDone
   std::string error;           ///< set for kFailed/kTimeout/kCancelled
   std::chrono::milliseconds timeout{0};  ///< 0 = unlimited
+  /// Checkpoints the job passed so far, clamped to points_total when a
+  /// total is known. Monotonically non-decreasing across polls.
+  std::uint64_t points_done = 0;
+  std::uint64_t points_total = 0;  ///< 0 = job never declared a plan
 };
 
 class JobManager {
@@ -123,6 +151,14 @@ class JobManager {
     unsigned job_workers = 1;     ///< jobs orchestrated concurrently
     std::size_t max_queued_jobs = 8;  ///< admission bound (excl. running)
     std::chrono::milliseconds default_timeout{0};  ///< 0 = unlimited
+    /// Terminal jobs kept for status queries; beyond this the oldest
+    /// terminal jobs are evicted (status() then reports "evicted").
+    /// 0 keeps history unbounded.
+    std::size_t max_job_history = 256;
+    /// When set, the manager publishes `hmcc_jobs_*` counters (admitted,
+    /// rejected, per-terminal-state, evicted, checkpoints) into this
+    /// registry. The registry must outlive the manager. nullptr = off.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit JobManager(const Options& opts);
@@ -143,6 +179,12 @@ class JobManager {
 
   /// Snapshot of a job; std::nullopt for unknown ids.
   [[nodiscard]] std::optional<JobSnapshot> status(std::uint64_t id) const;
+
+  /// True when @p id was once a live id but its record has been dropped
+  /// from the bounded history. (Ids refused at admission — the 429 path —
+  /// also report true: their ids were allocated but never returned to any
+  /// client, so no well-behaved caller can ask about them.)
+  [[nodiscard]] bool evicted(std::uint64_t id) const;
 
   /// Request cancellation. Queued jobs never start; running jobs stop at
   /// their next checkpoint. Returns false for unknown or already-terminal
@@ -176,11 +218,27 @@ class JobManager {
     /// (hypothetical) future API erased the map entry mid-run.
     std::shared_ptr<std::atomic<bool>> cancel =
         std::make_shared<std::atomic<bool>>(false);
+    std::shared_ptr<JobProgress> progress = std::make_shared<JobProgress>();
   };
 
   void run_job(std::uint64_t id, const JobFn& fn);
+  /// Drop the oldest terminal jobs beyond max_job_history. Caller holds
+  /// mutex_. Running/queued jobs are never evicted.
+  void evict_history_locked();
 
   Options opts_;
+  /// Stable counter handles resolved once at construction (or all null).
+  struct JobCounters {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* done = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* timed_out = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* evicted = nullptr;
+    obs::Counter* checkpoints = nullptr;
+  };
+  JobCounters counters_;
   // Declaration order is load-bearing for shutdown: dispatch_ must be
   // destroyed FIRST (its dtor drains queued jobs, whose run_job() touches
   // jobs_/mutex_ and fans out over runner_), so it is declared LAST.

@@ -22,6 +22,9 @@ RunResult run_workload(const std::string& workload, SystemConfig cfg,
   r.workload = workload;
   r.mode = cfg.mode;
   r.report = sys.run(mtrace);
+  if (sys.metrics() != nullptr) {
+    r.metrics_text = sys.metrics()->render_prometheus();
+  }
   return r;
 }
 

@@ -14,6 +14,10 @@ struct RunResult {
   std::string workload;
   CoalescerMode mode = CoalescerMode::kFull;
   SystemReport report;
+  /// Prometheus rendering of the per-System registry; empty unless
+  /// cfg.obs.metrics was set (the System itself dies with the run, so the
+  /// text is the survivable snapshot).
+  std::string metrics_text;
 };
 
 /// Build the paper's default platform: 12 cores at 3.3 GHz, 16 LLC MSHRs,

@@ -18,6 +18,13 @@ System::System(SystemConfig cfg)
       kernel_, cfg_.coalescer,
       [this](const coalescer::CoalescedPacket& pkt) { on_issue(pkt); },
       [this](Addr line, std::uint64_t token) { on_complete(line, token); });
+  if (cfg_.obs.metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (!cfg_.obs.trace_json.empty()) {
+    trace_ = std::make_unique<obs::TraceWriter>(cfg_.obs.trace_max_events);
+    coalescer_->set_trace(trace_.get());
+  }
 }
 
 std::uint64_t System::alloc_token(std::uint32_t core, bool is_store) {
@@ -161,6 +168,19 @@ void System::on_issue(const coalescer::CoalescedPacket& pkt) {
   const auto cmd = hmc::command_for(pkt.type, pkt.bytes);
   assert(cmd.has_value());
   hp.cmd = *cmd;
+  if (trace_ != nullptr) {
+    // Span per HMC transaction, one trace "thread" per vault so the vault
+    // parallelism is visible in the viewer.
+    const std::uint32_t vault = hmc_.address_map().decode(pkt.addr).vault;
+    hmc_.submit(hp, [this, vault](const hmc::ResponsePacket& resp) {
+      trace_->complete(
+          "hmc_pkt", "hmc",
+          static_cast<double>(resp.submitted_at) * arch::kNsPerCycle,
+          static_cast<double>(resp.latency()) * arch::kNsPerCycle, vault);
+      coalescer_->on_memory_response(resp.id);
+    });
+    return;
+  }
   hmc_.submit(hp, [this](const hmc::ResponsePacket& resp) {
     coalescer_->on_memory_response(resp.id);
   });
@@ -223,7 +243,31 @@ SystemReport System::run(const trace::MultiTrace& mtrace) {
   rep.coalescer = coalescer_->stats();
   rep.hmc = hmc_.stats();
   rep.llc_cache = hierarchy_.llc().stats();
+
+  if (metrics_) publish_metrics(*metrics_);
+  if (trace_) trace_->write_json(cfg_.obs.trace_json);
   return rep;
+}
+
+void System::publish_metrics(obs::MetricsRegistry& reg) const {
+  coalescer::publish_metrics(coalescer_->stats(), reg);
+  coalescer::publish_metrics(coalescer_->mshrs().stats(), reg);
+  hmc_.publish_metrics(reg);
+  hierarchy_.publish_metrics(reg);
+  reg.counter("hmcc_system_cpu_accesses_total", "CPU accesses replayed")
+      .inc(cpu_accesses_);
+  reg.counter("hmcc_system_llc_misses_total",
+              "Demand misses sent to the coalescer")
+      .inc(llc_misses_);
+  reg.counter("hmcc_system_writebacks_total",
+              "Dirty evictions sent to memory")
+      .inc(writebacks_);
+  reg.counter("hmcc_system_miss_payload_bytes_total",
+              "CPU-requested bytes of all LLC misses")
+      .inc(miss_payload_bytes_);
+  reg.gauge("hmcc_system_runtime_cycles",
+            "Cycle of the last completed access")
+      .set(static_cast<double>(last_activity_));
 }
 
 }  // namespace hmcc::system

@@ -15,6 +15,8 @@
 #include "cache/hierarchy.hpp"
 #include "coalescer/coalescer.hpp"
 #include "hmc/device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_writer.hpp"
 #include "sim/kernel.hpp"
 #include "system/config.hpp"
 #include "trace/trace.hpp"
@@ -74,6 +76,22 @@ class System {
   [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
 
+  /// Per-System metrics registry: non-null iff cfg.obs.metrics. run()
+  /// publishes the final sim counters into it; benches snapshot it with
+  /// render_prometheus() or counter_value().
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_.get();
+  }
+  /// Trace collector: non-null iff cfg.obs.trace_json is non-empty. run()
+  /// writes it to cfg.obs.trace_json when the simulation drains.
+  [[nodiscard]] obs::TraceWriter* trace() const noexcept {
+    return trace_.get();
+  }
+  /// Publish every sim layer's counters (coalescer, dynamic MSHRs, HMC
+  /// wire + per-vault, cache levels, system accounting) into @p reg.
+  /// Callable any time; normally used on an external registry after run().
+  void publish_metrics(obs::MetricsRegistry& reg) const;
+
  private:
   struct CoreState {
     const std::vector<trace::TraceRecord>* stream = nullptr;
@@ -110,6 +128,8 @@ class System {
   std::vector<Pending> pending_;
   std::vector<std::uint64_t> free_tokens_;
   MissHook miss_hook_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;  ///< cfg.obs.metrics only
+  std::unique_ptr<obs::TraceWriter> trace_;        ///< cfg.obs.trace_json only
 
   // Run-wide accounting.
   Cycle last_activity_ = 0;

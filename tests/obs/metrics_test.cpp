@@ -1,0 +1,225 @@
+// MetricsRegistry + Prometheus exposition: format correctness (label
+// escaping, histogram cumulative semantics, deterministic ordering) and
+// thread-safety of the lock-free fast paths.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hmcc::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Re-registration returns the SAME instance.
+  EXPECT_EQ(&reg.counter("test_total"), &c);
+  EXPECT_EQ(reg.counter_value("test_total"), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth", "help");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, BucketsAreCumulativeInExposition) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0}, "help");
+  h.observe(0.5);    // <= 1
+  h.observe(5.0);    // <= 10
+  h.observe(50.0);   // <= 100
+  h.observe(500.0);  // +Inf only
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"100\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 555.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+}
+
+TEST(Histogram, ObserveManyMatchesRepeatedObserve) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {64.0, 128.0, 256.0}, "");
+  h.observe_many(64.0, 10);
+  h.observe_many(256.0, 3);
+  EXPECT_EQ(h.count(), 13u);
+  EXPECT_DOUBLE_EQ(h.sum(), 64.0 * 10 + 256.0 * 3);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 3u);
+}
+
+TEST(Exposition, LabelValueEscaping) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+
+  MetricsRegistry reg;
+  reg.counter_family("f_total", "help")
+      .with({{"path", "say \"hi\"\nback\\slash"}})
+      .inc();
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("f_total{path=\"say \\\"hi\\\"\\nback\\\\slash\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Exposition, HelpTextEscapesNewlines) {
+  MetricsRegistry reg;
+  reg.counter("c_total", "line1\nline2");
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP c_total line1\\nline2\n"), std::string::npos);
+}
+
+TEST(Exposition, DeterministicOrdering) {
+  // Families render name-sorted and children label-sorted regardless of
+  // registration / touch order, so scrapes diff cleanly.
+  MetricsRegistry reg;
+  reg.counter("zebra_total").inc();
+  reg.counter("alpha_total").inc();
+  Family<Counter>& fam = reg.counter_family("mid_total", "");
+  fam.with({{"k", "b"}}).inc();
+  fam.with({{"k", "a"}}).inc(2);
+
+  const std::string text = reg.render_prometheus();
+  const std::size_t a = text.find("alpha_total");
+  const std::size_t ma = text.find("mid_total{k=\"a\"} 2");
+  const std::size_t mb = text.find("mid_total{k=\"b\"} 1");
+  const std::size_t z = text.find("zebra_total");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(ma, std::string::npos);
+  ASSERT_NE(mb, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, ma);
+  EXPECT_LT(ma, mb);
+  EXPECT_LT(mb, z);
+
+  // Two registries with the same content render identical text.
+  MetricsRegistry reg2;
+  reg2.counter_family("mid_total", "").with({{"k", "a"}}).inc(2);
+  reg2.counter_family("mid_total", "").with({{"k", "b"}}).inc();
+  reg2.counter("alpha_total").inc();
+  reg2.counter("zebra_total").inc();
+  EXPECT_EQ(text, reg2.render_prometheus());
+}
+
+TEST(Exposition, FormatDouble) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(format_double(std::nan("")), "NaN");
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::logic_error);
+  EXPECT_THROW(reg.gauge_family("x"), std::logic_error);
+  // Same type under the same name is NOT a mismatch: counter() is the
+  // family's unlabeled child.
+  EXPECT_NO_THROW(reg.counter_family("x"));
+}
+
+TEST(Registry, UnlabeledAndFamilyShareStorage) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("shared_total");
+  c.inc(5);
+  // The unlabeled counter is the family's {} child.
+  EXPECT_EQ(&reg.counter_family("shared_total").with({}), &c);
+  EXPECT_EQ(reg.counter_value("shared_total"), 5u);
+}
+
+TEST(Registry, ConcurrentCountersAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hot_total");
+  Histogram& h = reg.histogram("hist", {10.0, 20.0});
+  Gauge& g = reg.gauge("accum");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(15.0);
+        g.add(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0 * kThreads * kIters);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0 * kThreads * kIters);
+}
+
+TEST(Registry, ConcurrentFamilyMaterialization) {
+  // Many threads racing to materialize the same labeled children must end
+  // with one child per label set and exact totals.
+  MetricsRegistry reg;
+  Family<Counter>& fam = reg.counter_family("fam_total");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Labels mine{{"t", std::to_string(t % 2)}};
+      for (int i = 0; i < kIters; ++i) fam.with(mine).inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("fam_total", {{"t", "0"}}),
+            static_cast<std::uint64_t>(kThreads / 2) * kIters);
+  EXPECT_EQ(reg.counter_value("fam_total", {{"t", "1"}}),
+            static_cast<std::uint64_t>(kThreads / 2) * kIters);
+}
+
+TEST(Exposition, RenderWhileWritingNeverTearsHistogram) {
+  // _count must equal the +Inf bucket in every scrape, even while another
+  // thread is observing.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("busy", {1.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) h.observe(0.5);
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = reg.render_prometheus();
+    const auto inf_pos = text.find("busy_bucket{le=\"+Inf\"} ");
+    const auto count_pos = text.find("busy_count ");
+    ASSERT_NE(inf_pos, std::string::npos);
+    ASSERT_NE(count_pos, std::string::npos);
+    const std::string inf_val = text.substr(
+        inf_pos + 23, text.find('\n', inf_pos) - (inf_pos + 23));
+    const std::string count_val = text.substr(
+        count_pos + 11, text.find('\n', count_pos) - (count_pos + 11));
+    EXPECT_EQ(inf_val, count_val);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace hmcc::obs

@@ -283,6 +283,105 @@ TEST(BenchService, DrainRefusesNewJobsButServesStatus) {
   EXPECT_EQ(jobs->find("admission_bound")->as_int(), 1);
 }
 
+TEST(BenchService, MetricsEndpointSpeaksPrometheus) {
+  Fixture fx;
+  BenchService svc(fx.benches(), tiny_options());
+  fx.release.set_value();
+  const auto resp =
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "fast"})"));
+  ASSERT_EQ(resp.status, 202);
+  const std::string id = body_json(resp).find("id")->as_string();
+  poll_until_state(svc, id, {"done"});
+
+  const auto scrape = svc.handle(make_request("GET", "/metrics"));
+  EXPECT_EQ(scrape.status, 200);
+  EXPECT_EQ(scrape.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  const std::string& text = scrape.body;
+  EXPECT_NE(text.find("# TYPE hmcc_jobs_admitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hmcc_jobs_admitted_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("hmcc_jobs_done_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("hmcc_jobs_finished 1\n"), std::string::npos);
+  EXPECT_NE(text.find("hmcc_pool_job_workers 1\n"), std::string::npos);
+  EXPECT_NE(text.find("hmcc_pool_admission_bound 1\n"), std::string::npos);
+  // HTTP self-instrumentation: the POST and the status polls are counted
+  // by route label, never by concrete job id.
+  EXPECT_NE(text.find("hmcc_http_requests_total{code=\"202\",path=\"/jobs\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("hmcc_http_requests_total{code=\"200\",path=\"/jobs/{id}\"}"),
+      std::string::npos);
+  EXPECT_EQ(text.find("path=\"/jobs/" + id + "\""), std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE hmcc_http_request_duration_seconds histogram"),
+      std::string::npos);
+
+  // The scrape itself is visible from the next scrape onward.
+  const auto again = svc.handle(make_request("GET", "/metrics"));
+  EXPECT_NE(again.body.find(
+                "hmcc_http_requests_total{code=\"200\",path=\"/metrics\"}"),
+            std::string::npos);
+  EXPECT_EQ(svc.handle(make_request("POST", "/metrics")).status, 405);
+  svc.drain();
+}
+
+TEST(BenchService, JobStatusCarriesProgress) {
+  std::vector<ServiceBench> benches;
+  ServiceBench stepped;
+  stepped.name = "stepped";
+  stepped.metadata = json::Object{{"name", "stepped"}};
+  stepped.run = [](const Config&, const system::JobContext& ctx) {
+    ctx.set_points_total(3);
+    for (int i = 0; i < 3; ++i) ctx.checkpoint();
+    return system::JobOutput{"done", ""};
+  };
+  benches.push_back(std::move(stepped));
+  BenchService svc(std::move(benches), tiny_options());
+  const auto resp =
+      svc.handle(make_request("POST", "/jobs", R"({"bench": "stepped"})"));
+  ASSERT_EQ(resp.status, 202);
+  const std::string id = body_json(resp).find("id")->as_string();
+  poll_until_state(svc, id, {"done"});
+  const auto v = body_json(svc.handle(make_request("GET", "/jobs/" + id)));
+  ASSERT_NE(v.find("points_done"), nullptr);
+  ASSERT_NE(v.find("points_total"), nullptr);
+  EXPECT_EQ(v.find("points_done")->as_int(), 3);
+  EXPECT_EQ(v.find("points_total")->as_int(), 3);
+  svc.drain();
+}
+
+TEST(BenchService, EvictedJobAnswers404WithDistinctError) {
+  Fixture fx;
+  system::JobManager::Options opts = tiny_options();
+  opts.max_queued_jobs = 8;
+  opts.max_job_history = 1;
+  BenchService svc(fx.benches(), opts);
+  fx.release.set_value();
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    const auto resp =
+        svc.handle(make_request("POST", "/jobs", R"({"bench": "fast"})"));
+    ASSERT_EQ(resp.status, 202);
+    ids.push_back(body_json(resp).find("id")->as_string());
+    poll_until_state(svc, ids.back(), {"done"});
+  }
+  // Only the newest terminal job survives the history cap.
+  EXPECT_EQ(svc.handle(make_request("GET", "/jobs/" + ids.back())).status,
+            200);
+  const auto gone = svc.handle(make_request("GET", "/jobs/" + ids.front()));
+  EXPECT_EQ(gone.status, 404);
+  EXPECT_EQ(body_json(gone).find("error")->as_string(), "evicted");
+  const auto del =
+      svc.handle(make_request("DELETE", "/jobs/" + ids.front()));
+  EXPECT_EQ(del.status, 404);
+  EXPECT_EQ(body_json(del).find("error")->as_string(), "evicted");
+  // A never-issued id is NOT reported as evicted.
+  const auto unknown = svc.handle(make_request("GET", "/jobs/9999"));
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_NE(body_json(unknown).find("error")->as_string(), "evicted");
+  svc.drain();
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end over a real socket.
 

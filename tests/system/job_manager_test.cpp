@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace hmcc::system {
 namespace {
 
@@ -250,6 +252,143 @@ TEST(JobManager, DestructorDrainsInsteadOfAbandoning) {
     }
   }  // ~JobManager must run all six, not drop the queued ones
   EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(JobManager, ProgressTracksCheckpoints) {
+  JobManager mgr(small_options());
+  auto id = mgr.submit("prog", [](const JobContext& ctx) {
+    ctx.set_points_total(5);
+    for (int i = 0; i < 3; ++i) ctx.checkpoint();
+    return JobOutput{};
+  });
+  ASSERT_TRUE(id.has_value());
+  const JobSnapshot snap = wait_terminal(mgr, *id);
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_EQ(snap.points_total, 5u);
+  EXPECT_EQ(snap.points_done, 3u);
+}
+
+TEST(JobManager, ProgressClampsBookkeepingCheckpointsToTotal) {
+  // Runners may checkpoint more often than there are sweep points (e.g.
+  // once per task plus bookkeeping passes); the snapshot must never report
+  // done > total.
+  JobManager mgr(small_options());
+  auto id = mgr.submit("over", [](const JobContext& ctx) {
+    ctx.set_points_total(4);
+    for (int i = 0; i < 9; ++i) ctx.checkpoint();
+    return JobOutput{};
+  });
+  ASSERT_TRUE(id.has_value());
+  const JobSnapshot snap = wait_terminal(mgr, *id);
+  EXPECT_EQ(snap.points_total, 4u);
+  EXPECT_EQ(snap.points_done, 4u);
+}
+
+TEST(JobManager, ProgressIsMonotonicWhileRunning) {
+  JobManager mgr(small_options());
+  std::atomic<bool> started{false};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto id = mgr.submit("steps", [&started, gate](const JobContext& ctx) {
+    ctx.set_points_total(200);
+    started = true;
+    for (int i = 0; i < 100; ++i) {
+      ctx.checkpoint();
+      std::this_thread::sleep_for(100us);
+    }
+    gate.wait();
+    return JobOutput{};
+  });
+  ASSERT_TRUE(id.has_value());
+  while (!started.load()) std::this_thread::yield();
+  std::uint64_t last = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto snap = mgr.status(*id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_GE(snap->points_done, last);
+    last = snap->points_done;
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GT(last, 0u);
+  release.set_value();
+  wait_terminal(mgr, *id);
+}
+
+TEST(JobManager, HistoryCapEvictsOldestTerminalJobs) {
+  JobManager::Options opts = small_options();
+  opts.max_queued_jobs = 16;
+  opts.max_job_history = 2;
+  JobManager mgr(opts);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = mgr.submit("h" + std::to_string(i), [](const JobContext&) {
+      return JobOutput{};
+    });
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  mgr.drain();
+  // The two newest terminal jobs survive; older ones are gone but
+  // distinguishable from never-issued ids.
+  std::size_t retained = 0;
+  for (std::uint64_t id : ids) {
+    if (mgr.status(id).has_value()) {
+      ++retained;
+      EXPECT_FALSE(mgr.evicted(id));
+    } else {
+      EXPECT_TRUE(mgr.evicted(id));
+      EXPECT_FALSE(mgr.cancel(id));
+    }
+  }
+  EXPECT_EQ(retained, 2u);
+  EXPECT_TRUE(mgr.status(ids.back()).has_value());
+  EXPECT_FALSE(mgr.evicted(ids.back() + 100));  // never issued
+  EXPECT_FALSE(mgr.evicted(0));                 // ids start at 1
+}
+
+TEST(JobManager, UnboundedHistoryWhenCapIsZero) {
+  JobManager::Options opts = small_options();
+  opts.max_queued_jobs = 16;
+  opts.max_job_history = 0;
+  JobManager mgr(opts);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = mgr.submit("k", [](const JobContext&) { return JobOutput{}; });
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  mgr.drain();
+  for (std::uint64_t id : ids) EXPECT_TRUE(mgr.status(id).has_value());
+}
+
+TEST(JobManager, PublishesCountersIntoBoundRegistry) {
+  obs::MetricsRegistry reg;
+  JobManager::Options opts = small_options();
+  opts.max_queued_jobs = 16;
+  opts.max_job_history = 1;
+  opts.metrics = &reg;
+  {
+    JobManager mgr(opts);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(mgr.submit("ok", [](const JobContext& ctx) {
+        ctx.checkpoint();
+        return JobOutput{};
+      }).has_value());
+    }
+    ASSERT_TRUE(mgr.submit("bad", [](const JobContext&) -> JobOutput {
+      throw std::runtime_error("no");
+    }).has_value());
+    mgr.drain();
+    EXPECT_EQ(reg.counter_value("hmcc_jobs_admitted_total"), 4u);
+    EXPECT_EQ(reg.counter_value("hmcc_jobs_done_total"), 3u);
+    EXPECT_EQ(reg.counter_value("hmcc_jobs_failed_total"), 1u);
+    EXPECT_EQ(reg.counter_value("hmcc_jobs_rejected_total"), 0u);
+    EXPECT_EQ(reg.counter_value("hmcc_job_checkpoints_total"), 3u);
+    // History cap of 1: three of the four terminal jobs were evicted.
+    EXPECT_EQ(reg.counter_value("hmcc_jobs_evicted_total"), 3u);
+  }
+  // The registry outlives the manager; counters stay readable.
+  EXPECT_EQ(reg.counter_value("hmcc_jobs_admitted_total"), 4u);
 }
 
 TEST(JobManager, StateStringsAndTerminality) {

@@ -1,0 +1,148 @@
+// Observability wiring at the System level: the per-run registry must agree
+// with the SystemReport, tracing must produce a self-contained file, and —
+// the load-bearing guarantee — turning observability on must not perturb
+// simulated results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "system/runner.hpp"
+#include "system/system.hpp"
+
+namespace hmcc::system {
+namespace {
+
+workloads::WorkloadParams tiny_params() {
+  workloads::WorkloadParams p;
+  p.accesses_per_core = 2000;
+  p.seed = 7;
+  return p;
+}
+
+SystemConfig small_system() {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = 4;
+  return cfg;
+}
+
+trace::MultiTrace sequential_trace(std::uint32_t cores, std::uint64_t lines) {
+  trace::MultiTrace mt;
+  mt.per_core.resize(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      const Addr line = (i * cores + c) * 64 + (1ULL << 30);
+      mt.per_core[c].push_back(trace::TraceRecord::load(line, 8));
+    }
+  }
+  return mt;
+}
+
+TEST(Observability, OffByDefault) {
+  System sys(small_system());
+  EXPECT_EQ(sys.metrics(), nullptr);
+  EXPECT_EQ(sys.trace(), nullptr);
+}
+
+TEST(Observability, RegistryAgreesWithReport) {
+  SystemConfig cfg = small_system();
+  cfg.obs.metrics = true;
+  System sys(cfg);
+  const SystemReport rep = sys.run(sequential_trace(4, 800));
+  ASSERT_NE(sys.metrics(), nullptr);
+  const auto& reg = *sys.metrics();
+
+  EXPECT_EQ(reg.counter_value("hmcc_system_cpu_accesses_total"),
+            rep.cpu_accesses);
+  EXPECT_EQ(reg.counter_value("hmcc_system_llc_misses_total"),
+            rep.llc_misses);
+  EXPECT_EQ(reg.counter_value("hmcc_system_writebacks_total"),
+            rep.writebacks);
+  EXPECT_EQ(reg.counter_value("hmcc_coalescer_raw_requests_total"),
+            rep.coalescer.raw_requests);
+  EXPECT_EQ(reg.counter_value("hmcc_coalescer_memory_requests_total"),
+            rep.memory_requests);
+  EXPECT_EQ(reg.counter_value("hmcc_hmc_reads_total") +
+                reg.counter_value("hmcc_hmc_writes_total"),
+            rep.memory_requests);
+  EXPECT_EQ(reg.counter_value("hmcc_hmc_transferred_bytes_total"),
+            rep.hmc.transferred_bytes);
+  // Labeled families materialized: per-level cache, per-vault traffic.
+  EXPECT_EQ(reg.counter_value("hmcc_cache_misses_total", {{"level", "llc"}}),
+            rep.llc_misses);
+  EXPECT_GT(
+      reg.counter_value("hmcc_cache_hits_total", {{"level", "l1"}}) +
+          reg.counter_value("hmcc_cache_misses_total", {{"level", "l1"}}),
+      0u);
+  EXPECT_GT(reg.counter_value("hmcc_hmc_vault_requests_total",
+                              {{"vault", "0"}}),
+            0u);
+
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE hmcc_coalescer_packet_bytes histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hmcc_system_runtime_cycles "), std::string::npos);
+}
+
+TEST(Observability, EnablingItDoesNotChangeResults) {
+  const std::string trace_path =
+      testing::TempDir() + "/hmcc_obs_equiv_trace.json";
+  std::remove(trace_path.c_str());
+
+  const auto mt = sequential_trace(4, 600);
+  System plain(small_system());
+  const SystemReport a = plain.run(mt);
+
+  SystemConfig cfg = small_system();
+  cfg.obs.metrics = true;
+  cfg.obs.trace_json = trace_path;
+  System observed(cfg);
+  const SystemReport b = observed.run(mt);
+
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.memory_requests, b.memory_requests);
+  EXPECT_EQ(a.llc_misses, b.llc_misses);
+  EXPECT_EQ(a.hmc.transferred_bytes, b.hmc.transferred_bytes);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Observability, TraceFileIsWrittenAndSelfContained) {
+  const std::string trace_path = testing::TempDir() + "/hmcc_obs_trace.json";
+  std::remove(trace_path.c_str());
+
+  SystemConfig cfg = small_system();
+  cfg.obs.trace_json = trace_path;
+  System sys(cfg);
+  ASSERT_NE(sys.trace(), nullptr);
+  (void)sys.run(sequential_trace(4, 400));
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << trace_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc.back(), '}');
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"hmc_pkt\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dmc_batch\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Observability, RunnerCapturesMetricsSnapshot) {
+  SystemConfig cfg = small_system();
+  cfg.obs.metrics = true;
+  const auto with = run_workload("stream", cfg, tiny_params());
+  EXPECT_NE(with.metrics_text.find("hmcc_system_cpu_accesses_total"),
+            std::string::npos);
+
+  const auto without =
+      run_workload("stream", small_system(), tiny_params());
+  EXPECT_TRUE(without.metrics_text.empty());
+}
+
+}  // namespace
+}  // namespace hmcc::system
