@@ -48,10 +48,53 @@ struct BenchEnv {
   system::SweepRunner runner() const { return system::SweepRunner(threads); }
 };
 
+/// The harness knob table: desc::Knob<BenchEnv> entries for the keys
+/// BenchEnv itself consumes, mirroring the platform table in
+/// system/config_bridge.cpp. The suite daemon serves this metadata and
+/// make_env() parses from it, so the two can't drift. default_value holds
+/// the common default; accesses and csv have per-bench defaults that
+/// make_env() applies before the overlay.
+inline const std::vector<desc::Knob<BenchEnv>>& bench_knobs() {
+  static const std::vector<desc::Knob<BenchEnv>> table = [] {
+    std::vector<desc::Knob<BenchEnv>> t;
+    t.push_back(desc::uint_knob<BenchEnv>(
+        "accesses", "bench", "CPU accesses per core", 1, ~0ULL,
+        [](const BenchEnv& e) { return e.params.accesses_per_core; },
+        [](BenchEnv& e, std::uint64_t v) { e.params.accesses_per_core = v; }));
+    t.push_back(desc::uint_knob<BenchEnv>(
+        "seed", "bench", "workload RNG seed", 0, ~0ULL,
+        [](const BenchEnv& e) { return e.params.seed; },
+        [](BenchEnv& e, std::uint64_t v) { e.params.seed = v; }));
+    t.push_back(desc::string_knob<BenchEnv>(
+        "csv", "bench", "CSV output path (\"\" disables)",
+        [](const BenchEnv& e) { return e.csv_path; },
+        [](BenchEnv& e, std::string v) { e.csv_path = std::move(v); }));
+    t.push_back(desc::uint_knob<BenchEnv>(
+        "threads", "bench", "sweep fan-out (0 = hardware concurrency)", 0,
+        4096, [](const BenchEnv& e) { return e.threads; },
+        [](BenchEnv& e, std::uint64_t v) {
+          e.threads = static_cast<unsigned>(v);
+        }));
+    t[0].meta.default_value = "15000";
+    t[1].meta.default_value = "1";
+    t[2].meta.default_value = "<bench>.csv";
+    t[3].meta.default_value = "0";
+    return t;
+  }();
+  return table;
+}
+
+/// Metadata column of bench_knobs() (merged into GET /benches).
+inline const std::vector<desc::KnobMeta>& bench_knob_metadata() {
+  static const std::vector<desc::KnobMeta> meta =
+      desc::knob_metadata(bench_knobs());
+  return meta;
+}
+
 /// Keys consumed by BenchEnv itself (on top of the platform keys).
 inline const std::vector<std::string>& bench_cli_keys() {
-  static const std::vector<std::string> keys = {"accesses", "seed", "csv",
-                                                "threads"};
+  static const std::vector<std::string> keys =
+      desc::knob_keys(bench_knobs());
   return keys;
 }
 
@@ -91,12 +134,24 @@ inline BenchEnv make_env(const Config& cli, const char* bench_name,
                          std::uint64_t default_accesses = 15000) {
   BenchEnv env;
   env.cli = cli;
-  env.params.accesses_per_core =
-      env.cli.get_uint("accesses", default_accesses);
-  env.params.seed = env.cli.get_uint("seed", 1);
-  env.csv_path =
-      env.cli.get_string("csv", std::string(bench_name) + ".csv");
-  env.threads = static_cast<unsigned>(env.cli.get_uint("threads", 0));
+  // Per-bench defaults first, then the knob table overlays whatever the CLI
+  // provides. A rejected value warns and keeps the default — benches stay
+  // best-effort like the historical parser; the suite/standalone drivers
+  // pre-validate the PLATFORM knobs, which can invalidate a whole run.
+  env.params.accesses_per_core = default_accesses;
+  env.params.seed = 1;
+  env.csv_path = std::string(bench_name) + ".csv";
+  env.threads = 0;
+  for (const auto& k : bench_knobs()) {
+    if (!env.cli.has(k.meta.key)) continue;
+    const std::string raw = env.cli.get_string(k.meta.key, "");
+    const std::string err = k.apply(env, raw);
+    if (!err.empty()) {
+      std::fprintf(stderr, "warning: knob '%s=%s' rejected (%s); keeping "
+                   "default\n",
+                   k.meta.key.c_str(), raw.c_str(), err.c_str());
+    }
+  }
   return env;
 }
 

@@ -42,53 +42,21 @@ std::vector<SuiteTask> run_point_tasks(
 }
 
 const std::vector<KnobInfo>& suite_knob_info() {
-  static const std::vector<KnobInfo> knobs = {
-      // Harness knobs (bench_util.hpp).
-      {"accesses", "uint", "bench", "CPU accesses per core"},
-      {"seed", "uint", "bench", "workload RNG seed"},
-      {"csv", "string", "bench", "CSV output path (\"\" disables)"},
-      {"threads", "uint", "bench",
-       "sweep fan-out (0 = hardware concurrency)"},
-      // Platform knobs (system/config_bridge.cpp), same order as
-      // platform_cli_keys().
-      {"cores", "uint", "platform", "CPU cores"},
-      {"llc_mshrs", "uint", "platform", "LLC MSHR entries"},
-      {"mlp", "uint", "platform", "max outstanding misses per core"},
-      {"issue_interval", "uint", "platform", "cycles between issues"},
-      {"l1_kb", "uint", "platform", "L1 size (KiB)"},
-      {"l1_ways", "uint", "platform", "L1 associativity"},
-      {"l2_kb", "uint", "platform", "L2 size (KiB)"},
-      {"l2_ways", "uint", "platform", "L2 associativity"},
-      {"llc_kb", "uint", "platform", "LLC size (KiB)"},
-      {"llc_ways", "uint", "platform", "LLC associativity"},
-      {"line_bytes", "uint", "platform", "cache line bytes"},
-      {"window", "uint", "platform", "coalescing window n (power of two)"},
-      {"tau", "uint", "platform", "coalescing threshold tau"},
-      {"timeout", "uint", "platform", "coalescer timeout (cycles)"},
-      {"max_subentries", "uint", "platform", "dynamic MSHR subentries"},
-      {"bypass", "bool", "platform", "enable coalescer bypass"},
-      {"pipeline", "enum", "platform", "pipeline shape: stage|step"},
-      {"hmc_gb", "uint", "platform", "HMC capacity (GiB)"},
-      {"vaults", "uint", "platform", "HMC vaults (power of two)"},
-      {"banks", "uint", "platform", "banks per vault"},
-      {"links", "uint", "platform", "HMC links"},
-      {"block_bytes", "uint", "platform", "HMC block addressing bytes"},
-      {"max_packet", "uint", "platform", "max packet payload bytes"},
-      {"closed_page", "bool", "platform", "closed-page policy"},
-      {"t_rcd", "uint", "platform", "DRAM tRCD (cycles)"},
-      {"t_cl", "uint", "platform", "DRAM tCL (cycles)"},
-      {"t_rp", "uint", "platform", "DRAM tRP (cycles)"},
-      {"t_ras", "uint", "platform", "DRAM tRAS (cycles)"},
-      {"serdes", "uint", "platform", "SerDes latency (cycles)"},
-      {"xbar", "uint", "platform", "crossbar latency (cycles)"},
-      {"cycles_per_flit", "uint", "platform", "link cycles per FLIT"},
-      {"mode", "enum", "platform",
-       "datapath: none|conventional|dmc-only|coalescer"},
-      {"metrics", "bool", "platform", "build per-System metrics registry"},
-      {"trace_json", "string", "platform",
-       "chrome://tracing output path (\"\" disables)"},
-      {"trace_events", "uint", "platform", "trace event buffer cap"},
-  };
+  // Generated from the two knob tables — the SAME tables make_env() and
+  // overlay_config() parse from — so the served metadata cannot drift from
+  // the parser. Harness knobs first, then platform knobs in table order.
+  static const std::vector<KnobInfo> knobs = [] {
+    std::vector<KnobInfo> out;
+    auto append = [&out](const std::vector<desc::KnobMeta>& metas) {
+      for (const desc::KnobMeta& m : metas) {
+        out.push_back(KnobInfo{m.key, desc::to_string(m.kind), m.scope,
+                               m.help});
+      }
+    };
+    append(bench_knob_metadata());
+    append(system::platform_knob_metadata());
+    return out;
+  }();
   return knobs;
 }
 
@@ -97,6 +65,18 @@ int run_standalone(const SuiteBench& bench, int argc, char** argv) {
   std::vector<std::string> rejected;
   cli.parse_args(argc, argv, &rejected);
   warn_unrecognized(cli, rejected);
+  // Platform knobs invalidate the whole run (every task shares them), so
+  // fail fast with one line per problem instead of throwing mid-sweep.
+  {
+    system::SystemConfig probe = system::paper_system_config();
+    std::vector<std::string> errors;
+    if (!system::overlay_config(cli, probe, errors)) {
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "error: %s\n", e.c_str());
+      }
+      return 2;
+    }
+  }
   const BenchEnv env = make_env(cli, bench.name.c_str(),
                                 bench.default_accesses);
   std::vector<SuiteTask> tasks =

@@ -1,6 +1,7 @@
 #include "suite/service_adapter.hpp"
 
 #include <any>
+#include <limits>
 #include <utility>
 
 namespace hmcc::bench {
@@ -63,15 +64,37 @@ std::vector<service::ServiceBench> service_benches() {
 }
 
 service::json::Value knob_metadata_json() {
+  // Straight off the two knob tables (bench_knobs() + platform_knobs()) —
+  // the SAME tables make_env()/overlay_config() parse with, so the daemon
+  // can never advertise a knob the parser rejects or vice versa.
   service::json::Array knobs;
-  for (const KnobInfo& k : suite_knob_info()) {
-    knobs.push_back(service::json::Object{
-        {"name", k.name},
-        {"kind", k.kind},
-        {"scope", k.scope},
-        {"doc", k.doc},
-    });
-  }
+  auto append = [&knobs](const std::vector<desc::KnobMeta>& metas) {
+    for (const desc::KnobMeta& m : metas) {
+      service::json::Object o{
+          {"name", m.key},
+          {"kind", std::string(desc::to_string(m.kind))},
+          {"scope", m.scope},
+          {"doc", m.help},
+          {"default", m.default_value},
+      };
+      if (m.kind == desc::KnobKind::kUInt) {
+        o.emplace_back("min", static_cast<std::int64_t>(m.min_value));
+        // JSON numbers are signed 64-bit here; an unbounded knob omits max.
+        if (m.max_value <= static_cast<std::uint64_t>(
+                               std::numeric_limits<std::int64_t>::max())) {
+          o.emplace_back("max", static_cast<std::int64_t>(m.max_value));
+        }
+      }
+      if (m.kind == desc::KnobKind::kEnum) {
+        service::json::Array choices;
+        for (const std::string& c : m.choices) choices.push_back(c);
+        o.emplace_back("choices", std::move(choices));
+      }
+      knobs.push_back(std::move(o));
+    }
+  };
+  append(bench_knob_metadata());
+  append(system::platform_knob_metadata());
   return knobs;
 }
 

@@ -109,6 +109,20 @@ int main(int argc, char** argv) {
   cli.parse_args(static_cast<int>(kv_args.size()), kv_args.data(), &rejected);
   warn_unrecognized(cli, rejected, {"only", "csvdir", "nocsv"});
 
+  // Platform knobs are shared by every bench of the run: validate them once
+  // up front (one line per problem) instead of throwing from a worker mid
+  // suite.
+  {
+    system::SystemConfig probe = system::paper_system_config();
+    std::vector<std::string> errors;
+    if (!system::overlay_config(cli, probe, errors)) {
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "error: %s\n", e.c_str());
+      }
+      return 2;
+    }
+  }
+
   // Select benches.
   std::vector<const SuiteBench*> selected;
   const std::string only = cli.get_string("only", "");

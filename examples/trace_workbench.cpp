@@ -6,7 +6,12 @@
 //   trace_workbench cmd=save    workload=ft file=ft.trace
 //   trace_workbench cmd=run     file=ft.trace [mode=coalescer]
 //   trace_workbench cmd=run     workload=lu  [mode=conventional]
+//
+// With metrics=1 [sample_interval=N] metrics_out=PATH, cmd=run writes the
+// run's full Prometheus registry (including the mid-run occupancy samples)
+// to PATH after the simulation drains.
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
@@ -68,7 +73,13 @@ int main(int argc, char** argv) {
   Config cli;
   cli.parse_args(argc, argv);
   const std::string cmd = cli.get_string("cmd", "profile");
-  system::SystemConfig cfg = system::config_from_cli(cli);
+  system::SystemConfig cfg;
+  try {
+    cfg = system::config_from_cli(cli);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   bool ok = true;
   const trace::MultiTrace mt = obtain_trace(cli, cfg.hierarchy.num_cores, &ok);
@@ -108,6 +119,17 @@ int main(int argc, char** argv) {
     t.add_row({"runtime (us)",
                Table::fmt(rep.runtime_seconds() * 1e6, 2)});
     std::fputs(t.to_ascii().c_str(), stdout);
+    const std::string metrics_out = cli.get_string("metrics_out", "");
+    if (!metrics_out.empty() && sys.metrics() != nullptr) {
+      std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "failed to write '%s'\n", metrics_out.c_str());
+        return 1;
+      }
+      const std::string text = sys.metrics()->render_prometheus();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
     return rep.drained ? 0 : 2;
   }
   std::fprintf(stderr, "unknown cmd '%s' (profile|save|run)\n", cmd.c_str());

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Byte-identity gate for the declarative descriptor refactor: with
+# observability off, the bench suite's stdout and every CSV must hash to
+# exactly the pre-refactor baseline in tests/golden/bench_suite_smoke.sha256.
+#
+# The baseline was produced with:
+#   mkdir scratch && cd scratch && mkdir ci_smoke_csv
+#   bench_suite --smoke csvdir=ci_smoke_csv threads=2 \
+#     > suite_stdout.txt 2>/dev/null
+#   sha256sum suite_stdout.txt ci_smoke_csv/*.csv
+#
+# Usage: byte_identity_check.sh <path-to-bench_suite>
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 <path-to-bench_suite>" >&2
+  exit 2
+fi
+
+bench_suite=$(realpath "$1")
+golden=$(realpath "$(dirname "$0")/../tests/golden/bench_suite_smoke.sha256")
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+cd "$scratch"
+mkdir ci_smoke_csv
+
+# threads=2 exercises the parallel scheduler; output must not depend on it.
+"$bench_suite" --smoke csvdir=ci_smoke_csv threads=2 \
+  > suite_stdout.txt 2>/dev/null
+
+sha256sum -c "$golden"
+echo "byte-identity: OK ($(wc -l < "$golden") files match the baseline)"

@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "obs/metrics.hpp"
-
 namespace hmcc::cache {
 
 Hierarchy::Hierarchy(const HierarchyConfig& cfg)
@@ -103,36 +101,44 @@ void Hierarchy::reset() {
   llc_->reset();
 }
 
-void Hierarchy::publish_metrics(obs::MetricsRegistry& reg) const {
-  obs::Family<obs::Counter>& hits =
-      reg.counter_family("hmcc_cache_hits_total", "Cache hits per level");
-  obs::Family<obs::Counter>& misses =
-      reg.counter_family("hmcc_cache_misses_total", "Cache misses per level");
-  obs::Family<obs::Counter>& evictions = reg.counter_family(
-      "hmcc_cache_evictions_total", "Cache evictions per level");
-  obs::Family<obs::Counter>& writebacks = reg.counter_family(
-      "hmcc_cache_writebacks_total", "Dirty write-backs per level");
+desc::StatSet Hierarchy::stat_descriptors() const {
+  // Level sampler: sums the live per-core caches on every call, so one
+  // descriptor serves both end-of-run publication and any future mid-run
+  // sampling without a cached snapshot going stale.
+  auto level_stats = [this](const char* level) {
+    return [this, level]() -> CacheStats {
+      CacheStats sum;
+      auto accumulate = [&sum](const CacheStats& s) {
+        sum.hits += s.hits;
+        sum.misses += s.misses;
+        sum.evictions += s.evictions;
+        sum.writebacks += s.writebacks;
+      };
+      if (level[1] == '1') {
+        for (const auto& c : l1_) accumulate(c->stats());
+      } else if (level[1] == '2') {
+        for (const auto& c : l2_) accumulate(c->stats());
+      } else {
+        accumulate(llc_->stats());
+      }
+      return sum;
+    };
+  };
 
-  auto publish = [&](const char* level, const CacheStats& s) {
+  desc::StatSet set;
+  for (const char* level : {"l1", "l2", "llc"}) {
     const obs::Labels labels{{"level", level}};
-    hits.with(labels).inc(s.hits);
-    misses.with(labels).inc(s.misses);
-    evictions.with(labels).inc(s.evictions);
-    writebacks.with(labels).inc(s.writebacks);
-  };
-
-  CacheStats l1_sum, l2_sum;
-  auto accumulate = [](CacheStats& into, const CacheStats& s) {
-    into.hits += s.hits;
-    into.misses += s.misses;
-    into.evictions += s.evictions;
-    into.writebacks += s.writebacks;
-  };
-  for (const auto& c : l1_) accumulate(l1_sum, c->stats());
-  for (const auto& c : l2_) accumulate(l2_sum, c->stats());
-  publish("l1", l1_sum);
-  publish("l2", l2_sum);
-  publish("llc", llc_->stats());
+    auto stats_of = level_stats(level);
+    set.counter("hmcc_cache_hits_total", "Cache hits per level",
+                [stats_of] { return stats_of().hits; }, labels)
+        .counter("hmcc_cache_misses_total", "Cache misses per level",
+                 [stats_of] { return stats_of().misses; }, labels)
+        .counter("hmcc_cache_evictions_total", "Cache evictions per level",
+                 [stats_of] { return stats_of().evictions; }, labels)
+        .counter("hmcc_cache_writebacks_total", "Dirty write-backs per level",
+                 [stats_of] { return stats_of().writebacks; }, labels);
+  }
+  return set;
 }
 
 }  // namespace hmcc::cache

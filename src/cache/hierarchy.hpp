@@ -23,11 +23,8 @@
 
 #include "cache/cache.hpp"
 #include "cache/config.hpp"
+#include "common/descriptor.hpp"
 #include "common/types.hpp"
-
-namespace hmcc::obs {
-class MetricsRegistry;
-}  // namespace hmcc::obs
 
 namespace hmcc::cache {
 
@@ -72,10 +69,11 @@ class Hierarchy {
 
   void reset();
 
-  /// Publish per-level cache counters into @p reg as the
+  /// The hierarchy's metric schema: per-level cache counters as the
   /// `hmcc_cache_*{level=...}` families. L1/L2 are summed across cores
-  /// (level="l1"/"l2"); the shared LLC is level="llc".
-  void publish_metrics(obs::MetricsRegistry& reg) const;
+  /// (level="l1"/"l2"); the shared LLC is level="llc". Sample functions
+  /// read live state: the hierarchy must outlive the returned set.
+  [[nodiscard]] desc::StatSet stat_descriptors() const;
 
  private:
   HierarchyConfig cfg_;

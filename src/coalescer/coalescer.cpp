@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "common/bits.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace_writer.hpp"
 
 namespace hmcc::coalescer {
@@ -275,55 +274,65 @@ bool MemoryCoalescer::idle() const noexcept {
          mshrs_.in_use() == 0 && !fence_pending_ && in_flight_inputs_ == 0;
 }
 
-void publish_metrics(const CoalescerStats& stats, obs::MetricsRegistry& reg) {
-  reg.counter("hmcc_coalescer_raw_requests_total",
-              "Raw LLC misses / write-backs submitted to the coalescer")
-      .inc(stats.raw_requests);
-  reg.counter("hmcc_coalescer_memory_requests_total",
-              "Coalesced packets actually issued to the HMC device")
-      .inc(stats.memory_requests);
-  reg.counter("hmcc_coalescer_batches_total",
-              "Request-window batches flushed into the sorting pipeline")
-      .inc(stats.batches);
-  reg.counter("hmcc_coalescer_timeout_flushes_total",
-              "Window batches flushed by the timeout rather than filling")
-      .inc(stats.timeout_flushes);
-  reg.counter("hmcc_coalescer_bypassed_total",
-              "Raw requests that took the stage-select bypass (sec. 4.2)")
-      .inc(stats.bypassed);
-  reg.counter("hmcc_coalescer_crq_merges_total",
-              "Packets merged in place while waiting in the CRQ")
-      .inc(stats.crq_merges);
-  reg.counter("hmcc_coalescer_packets_to_crq_total",
-              "Packets pushed into the coalesced-request queue")
-      .inc(stats.packets_to_crq);
-  reg.counter("hmcc_coalescer_fences_total", "Memory fences drained")
-      .inc(stats.fences);
-  reg.gauge("hmcc_coalescer_efficiency",
-            "Fraction of raw requests eliminated before the HMC (Fig 8)")
-      .set(stats.coalescing_efficiency());
-
-  // The paper's packet-size distribution (Fig 9): bucket upper bounds are
-  // the three legal HMC payload sizes.
-  obs::Histogram& sizes = reg.histogram(
-      "hmcc_coalescer_packet_bytes", {64.0, 128.0, 256.0},
-      "Issued packet payload size in bytes");
-  sizes.observe_many(64.0, stats.size_64);
-  sizes.observe_many(128.0, stats.size_128);
-  sizes.observe_many(256.0, stats.size_256);
-
-  reg.gauge("hmcc_coalescer_dmc_latency_cycles_avg",
-            "Mean cycles a batch spends in the DMC unit (Fig 12)")
-      .set(stats.dmc_latency.mean());
-  reg.gauge("hmcc_coalescer_crq_fill_cycles_avg",
-            "Mean cycles to produce CRQ-capacity packets (Fig 13)")
-      .set(stats.crq_fill_time.mean());
-  reg.gauge("hmcc_coalescer_front_latency_cycles_avg",
-            "Mean submit-to-CRQ latency in cycles (Fig 14)")
-      .set(stats.front_latency.mean());
-  reg.gauge("hmcc_coalescer_request_latency_cycles_avg",
-            "Mean submit-to-issue/merge latency in cycles")
-      .set(stats.request_latency.mean());
+desc::StatSet MemoryCoalescer::stat_descriptors() const {
+  const CoalescerStats& s = stats_;
+  desc::StatSet set;
+  set.counter("hmcc_coalescer_raw_requests_total",
+              "Raw LLC misses / write-backs submitted to the coalescer",
+              [&s] { return s.raw_requests; })
+      .counter("hmcc_coalescer_memory_requests_total",
+               "Coalesced packets actually issued to the HMC device",
+               [&s] { return s.memory_requests; })
+      .counter("hmcc_coalescer_batches_total",
+               "Request-window batches flushed into the sorting pipeline",
+               [&s] { return s.batches; })
+      .counter("hmcc_coalescer_timeout_flushes_total",
+               "Window batches flushed by the timeout rather than filling",
+               [&s] { return s.timeout_flushes; })
+      .counter("hmcc_coalescer_bypassed_total",
+               "Raw requests that took the stage-select bypass (sec. 4.2)",
+               [&s] { return s.bypassed; })
+      .counter("hmcc_coalescer_crq_merges_total",
+               "Packets merged in place while waiting in the CRQ",
+               [&s] { return s.crq_merges; })
+      .counter("hmcc_coalescer_packets_to_crq_total",
+               "Packets pushed into the coalesced-request queue",
+               [&s] { return s.packets_to_crq; })
+      .counter("hmcc_coalescer_fences_total", "Memory fences drained",
+               [&s] { return s.fences; })
+      .gauge("hmcc_coalescer_efficiency",
+             "Fraction of raw requests eliminated before the HMC (Fig 8)",
+             [&s] { return s.coalescing_efficiency(); })
+      // The paper's packet-size distribution (Fig 9): bucket upper bounds
+      // are the three legal HMC payload sizes.
+      .histogram("hmcc_coalescer_packet_bytes",
+                 "Issued packet payload size in bytes", {64.0, 128.0, 256.0},
+                 [&s] {
+                   return desc::HistSample{{64.0, s.size_64},
+                                           {128.0, s.size_128},
+                                           {256.0, s.size_256}};
+                 })
+      .gauge("hmcc_coalescer_dmc_latency_cycles_avg",
+             "Mean cycles a batch spends in the DMC unit (Fig 12)",
+             [&s] { return s.dmc_latency.mean(); })
+      .gauge("hmcc_coalescer_crq_fill_cycles_avg",
+             "Mean cycles to produce CRQ-capacity packets (Fig 13)",
+             [&s] { return s.crq_fill_time.mean(); })
+      .gauge("hmcc_coalescer_front_latency_cycles_avg",
+             "Mean submit-to-CRQ latency in cycles (Fig 14)",
+             [&s] { return s.front_latency.mean(); })
+      .gauge("hmcc_coalescer_request_latency_cycles_avg",
+             "Mean submit-to-issue/merge latency in cycles",
+             [&s] { return s.request_latency.mean(); })
+      .sampled_gauge(
+          "hmcc_coalescer_crq_occupancy",
+          "Packets in the CRQ plus its elastic overflow buffer",
+          {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+          [this] {
+            return static_cast<double>(crq_.size() + crq_overflow_.size());
+          });
+  set.extend(mshrs_.stat_descriptors());
+  return set;
 }
 
 }  // namespace hmcc::coalescer

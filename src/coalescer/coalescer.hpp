@@ -31,13 +31,13 @@
 #include "coalescer/dynamic_mshr.hpp"
 #include "coalescer/pipeline.hpp"
 #include "coalescer/request.hpp"
+#include "common/descriptor.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "sim/kernel.hpp"
 
 namespace hmcc::obs {
-class MetricsRegistry;
 class TraceWriter;
 }  // namespace hmcc::obs
 
@@ -102,6 +102,12 @@ class MemoryCoalescer {
   void set_trace(obs::TraceWriter* trace) noexcept { trace_ = trace; }
 
   [[nodiscard]] const CoalescerStats& stats() const noexcept { return stats_; }
+
+  /// The coalescer's metric schema (`hmcc_coalescer_*`: paper counters,
+  /// the packet-size histogram, the Fig 12-14 latency means, and a sampled
+  /// CRQ-occupancy gauge), plus the dynamic-MSHR file's own descriptors.
+  /// Sample functions read live state: the coalescer must outlive the set.
+  [[nodiscard]] desc::StatSet stat_descriptors() const;
   [[nodiscard]] const CoalescerConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const PipelinedSorter& sorter() const noexcept {
     return sorter_;
@@ -156,11 +162,5 @@ class MemoryCoalescer {
   CoalescerStats stats_;
   obs::TraceWriter* trace_ = nullptr;
 };
-
-/// Publish the coalescer's paper counters into @p reg under the
-/// `hmcc_coalescer_*` namespace (coalesced-vs-raw counts, the packet-size
-/// histogram, window timeout flushes, bypass events, CRQ in-place merges,
-/// and the Fig 12-14 latency means).
-void publish_metrics(const CoalescerStats& stats, obs::MetricsRegistry& reg);
 
 }  // namespace hmcc::coalescer

@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "common/bits.hpp"
-#include "obs/metrics.hpp"
 
 namespace hmcc::coalescer {
 
@@ -239,24 +238,30 @@ void DynamicMshrFile::reset() {
   stats_ = DynMshrStats{};
 }
 
-void publish_metrics(const DynMshrStats& stats, obs::MetricsRegistry& reg) {
-  reg.counter("hmcc_mshr_allocations_total",
-              "Dynamic MSHR entries allocated")
-      .inc(stats.allocations);
-  reg.counter("hmcc_mshr_full_merges_total",
-              "Packets absorbed entirely by in-flight entries (Fig 6 A)")
-      .inc(stats.full_merges);
-  reg.counter("hmcc_mshr_partial_merges_total",
-              "Packets split across in-flight entries (Fig 6 B)")
-      .inc(stats.partial_merges);
-  reg.counter("hmcc_mshr_merged_constituents_total",
-              "Constituent requests attached as subentries")
-      .inc(stats.merged_constituents);
-  reg.counter("hmcc_mshr_rejects_full_total",
-              "Insertions refused because the file was full")
-      .inc(stats.rejects_full);
-  reg.counter("hmcc_mshr_frees_total", "Entries freed on fill")
-      .inc(stats.frees);
+desc::StatSet DynamicMshrFile::stat_descriptors() const {
+  const DynMshrStats& s = stats_;
+  desc::StatSet set;
+  set.counter("hmcc_mshr_allocations_total", "Dynamic MSHR entries allocated",
+              [&s] { return s.allocations; })
+      .counter("hmcc_mshr_full_merges_total",
+               "Packets absorbed entirely by in-flight entries (Fig 6 A)",
+               [&s] { return s.full_merges; })
+      .counter("hmcc_mshr_partial_merges_total",
+               "Packets split across in-flight entries (Fig 6 B)",
+               [&s] { return s.partial_merges; })
+      .counter("hmcc_mshr_merged_constituents_total",
+               "Constituent requests attached as subentries",
+               [&s] { return s.merged_constituents; })
+      .counter("hmcc_mshr_rejects_full_total",
+               "Insertions refused because the file was full",
+               [&s] { return s.rejects_full; })
+      .counter("hmcc_mshr_frees_total", "Entries freed on fill",
+               [&s] { return s.frees; })
+      .sampled_gauge("hmcc_mshr_occupancy",
+                     "Dynamic MSHR entries in use",
+                     {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+                     [this] { return static_cast<double>(in_use()); });
+  return set;
 }
 
 }  // namespace hmcc::coalescer

@@ -24,11 +24,8 @@
 
 #include "coalescer/config.hpp"
 #include "coalescer/request.hpp"
+#include "common/descriptor.hpp"
 #include "common/types.hpp"
-
-namespace hmcc::obs {
-class MetricsRegistry;
-}  // namespace hmcc::obs
 
 namespace hmcc::coalescer {
 
@@ -86,6 +83,11 @@ class DynamicMshrFile {
   [[nodiscard]] bool has_free_entry() const noexcept { return !full(); }
   [[nodiscard]] const DynMshrStats& stats() const noexcept { return stats_; }
 
+  /// The MSHR file's metric schema (`hmcc_mshr_*` counters plus a sampled
+  /// occupancy gauge). Sample functions read live state: the file must
+  /// outlive the returned set.
+  [[nodiscard]] desc::StatSet stat_descriptors() const;
+
   void reset();
 
  private:
@@ -123,9 +125,5 @@ class DynamicMshrFile {
   ReqId next_issue_id_ = 1;
   DynMshrStats stats_;
 };
-
-/// Publish the dynamic-MSHR counters into @p reg (`hmcc_mshr_*` namespace:
-/// allocations, full/partial second-phase merges, full-file rejections).
-void publish_metrics(const DynMshrStats& stats, obs::MetricsRegistry& reg);
 
 }  // namespace hmcc::coalescer

@@ -85,51 +85,51 @@ void HmcDevice::reset_stats() {
   for (Link& l : links_) l.reset();
 }
 
-void publish_metrics(const HmcStats& stats, obs::MetricsRegistry& reg) {
-  reg.counter("hmcc_hmc_reads_total", "Read transactions submitted")
-      .inc(stats.reads);
-  reg.counter("hmcc_hmc_writes_total", "Write transactions submitted")
-      .inc(stats.writes);
-  reg.counter("hmcc_hmc_payload_bytes_total",
-              "Data bytes carried by all packets")
-      .inc(stats.payload_bytes);
-  reg.counter("hmcc_hmc_transferred_bytes_total",
-              "Payload plus control bytes on the wire")
-      .inc(stats.transferred_bytes);
-  reg.counter("hmcc_hmc_control_bytes_total", "Control bytes on the wire")
-      .inc(stats.control_bytes);
-  reg.counter("hmcc_hmc_bank_conflicts_total",
-              "Requests that waited on a busy bank")
-      .inc(stats.bank_conflicts);
-  reg.counter("hmcc_hmc_row_activations_total", "DRAM row activations")
-      .inc(stats.row_activations);
-  reg.counter("hmcc_hmc_row_hits_total", "Accesses served from an open row")
-      .inc(stats.row_hits);
-  reg.gauge("hmcc_hmc_bandwidth_efficiency",
-            "Requested / transferred bytes (paper Eq. 1)")
-      .set(stats.bandwidth_efficiency());
-  reg.gauge("hmcc_hmc_latency_cycles_avg",
-            "Mean end-to-end transaction latency in cycles")
-      .set(stats.latency.mean());
+void HmcDevice::set_trace(obs::TraceWriter* trace) noexcept {
+  for (Vault& v : vaults_) v.set_trace(trace);
 }
 
-void HmcDevice::publish_metrics(obs::MetricsRegistry& reg) const {
-  hmc::publish_metrics(stats(), reg);
-  obs::Family<obs::Counter>& served = reg.counter_family(
-      "hmcc_hmc_vault_requests_total", "Requests served per vault");
-  obs::Family<obs::Counter>& conflicts = reg.counter_family(
-      "hmcc_hmc_vault_bank_conflicts_total", "Bank conflicts per vault");
-  obs::Family<obs::Counter>& activations = reg.counter_family(
-      "hmcc_hmc_vault_row_activations_total", "Row activations per vault");
-  obs::Family<obs::Counter>& hits = reg.counter_family(
-      "hmcc_hmc_vault_row_hits_total", "Row hits per vault");
+desc::StatSet HmcDevice::stat_descriptors() const {
+  desc::StatSet set;
+  set.counter("hmcc_hmc_reads_total", "Read transactions submitted",
+              [this] { return stats().reads; })
+      .counter("hmcc_hmc_writes_total", "Write transactions submitted",
+               [this] { return stats().writes; })
+      .counter("hmcc_hmc_payload_bytes_total",
+               "Data bytes carried by all packets",
+               [this] { return stats().payload_bytes; })
+      .counter("hmcc_hmc_transferred_bytes_total",
+               "Payload plus control bytes on the wire",
+               [this] { return stats().transferred_bytes; })
+      .counter("hmcc_hmc_control_bytes_total", "Control bytes on the wire",
+               [this] { return stats().control_bytes; })
+      .counter("hmcc_hmc_bank_conflicts_total",
+               "Requests that waited on a busy bank",
+               [this] { return stats().bank_conflicts; })
+      .counter("hmcc_hmc_row_activations_total", "DRAM row activations",
+               [this] { return stats().row_activations; })
+      .counter("hmcc_hmc_row_hits_total", "Accesses served from an open row",
+               [this] { return stats().row_hits; })
+      .gauge("hmcc_hmc_bandwidth_efficiency",
+             "Requested / transferred bytes (paper Eq. 1)",
+             [this] { return stats().bandwidth_efficiency(); })
+      .gauge("hmcc_hmc_latency_cycles_avg",
+             "Mean end-to-end transaction latency in cycles",
+             [this] { return stats().latency.mean(); });
   for (const Vault& v : vaults_) {
     const obs::Labels labels{{"vault", std::to_string(v.index())}};
-    served.with(labels).inc(v.requests_served());
-    conflicts.with(labels).inc(v.bank_conflicts());
-    activations.with(labels).inc(v.row_activations());
-    hits.with(labels).inc(v.row_hits());
+    set.counter("hmcc_hmc_vault_requests_total", "Requests served per vault",
+                [&v] { return v.requests_served(); }, labels)
+        .counter("hmcc_hmc_vault_bank_conflicts_total",
+                 "Bank conflicts per vault",
+                 [&v] { return v.bank_conflicts(); }, labels)
+        .counter("hmcc_hmc_vault_row_activations_total",
+                 "Row activations per vault",
+                 [&v] { return v.row_activations(); }, labels)
+        .counter("hmcc_hmc_vault_row_hits_total", "Row hits per vault",
+                 [&v] { return v.row_hits(); }, labels);
   }
+  return set;
 }
 
 }  // namespace hmcc::hmc

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/descriptor.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "hmc/address_map.hpp"
@@ -22,7 +23,7 @@
 #include "sim/kernel.hpp"
 
 namespace hmcc::obs {
-class MetricsRegistry;
+class TraceWriter;
 }  // namespace hmcc::obs
 
 namespace hmcc::hmc {
@@ -48,11 +49,6 @@ struct HmcStats {
   }
 };
 
-/// Publish the device-wide wire counters into @p reg (`hmcc_hmc_*`:
-/// reads/writes, payload vs transferred bytes, bank conflicts, row
-/// activations/hits, bandwidth efficiency, mean latency).
-void publish_metrics(const HmcStats& stats, obs::MetricsRegistry& reg);
-
 class HmcDevice {
  public:
   using ResponseCallback = std::function<void(const ResponsePacket&)>;
@@ -76,10 +72,17 @@ class HmcDevice {
 
   void reset_stats();
 
-  /// Publish device-wide wire counters plus a per-vault labeled family
-  /// (`hmcc_hmc_vault_*{vault="N"}`: requests served, bank conflicts, row
-  /// activations/hits) into @p reg.
-  void publish_metrics(obs::MetricsRegistry& reg) const;
+  /// Attach a chrome-trace writer (nullptr detaches); forwarded to every
+  /// vault, which emit per-bank row-buffer spans (row_open / row_hit /
+  /// row_conflict) while attached.
+  void set_trace(obs::TraceWriter* trace) noexcept;
+
+  /// The device's metric schema: wire counters (`hmcc_hmc_*`: reads/writes,
+  /// payload vs transferred bytes, bank conflicts, row activations/hits,
+  /// bandwidth efficiency, mean latency) plus per-vault labeled families
+  /// (`hmcc_hmc_vault_*{vault="N"}`). Sample functions read live state: the
+  /// device must outlive the returned set.
+  [[nodiscard]] desc::StatSet stat_descriptors() const;
 
  private:
   Kernel& kernel_;

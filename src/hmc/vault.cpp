@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_writer.hpp"
+
 namespace hmcc::hmc {
 
 VaultServiceResult Vault::serve(const DecodedAddr& d, std::uint32_t bytes,
@@ -14,6 +16,18 @@ VaultServiceResult Vault::serve(const DecodedAddr& d, std::uint32_t bytes,
   const Cycle issue = ctrl_free_;
   const BankAccessResult b = banks_[d.bank].access(d.row, bytes, issue);
   ++served_;
+  if (trace_ != nullptr) {
+    // Row-buffer state transition as a span on a per-bank track: the name
+    // says what the access did to the row (opened it, hit it open, or had
+    // to wait out a conflict/row cycle), the span covers bank busy time.
+    const char* what =
+        b.row_hit ? "row_hit" : (b.conflict ? "row_conflict" : "row_open");
+    trace_->complete(what, "bank",
+                     static_cast<double>(b.start) * arch::kNsPerCycle,
+                     static_cast<double>(b.data_ready - b.start) *
+                         arch::kNsPerCycle,
+                     index_ * cfg_.banks_per_vault + d.bank);
+  }
   return VaultServiceResult{b.data_ready, b.row_hit, b.conflict};
 }
 

@@ -15,6 +15,10 @@
 #include "hmc/bank.hpp"
 #include "hmc/config.hpp"
 
+namespace hmcc::obs {
+class TraceWriter;
+}  // namespace hmcc::obs
+
 namespace hmcc::hmc {
 
 struct VaultServiceResult {
@@ -41,6 +45,12 @@ class Vault {
   [[nodiscard]] std::uint64_t row_activations() const noexcept;
   [[nodiscard]] std::uint64_t row_hits() const noexcept;
 
+  /// Attach a chrome-trace writer (nullptr detaches). While attached, every
+  /// bank access emits a row-buffer state-transition span (row_open /
+  /// row_hit / row_conflict) on a per-bank trace track; detached, the cost
+  /// is one pointer test per access.
+  void set_trace(obs::TraceWriter* trace) noexcept { trace_ = trace; }
+
   void reset();
 
  private:
@@ -49,6 +59,7 @@ class Vault {
   std::vector<Bank> banks_;
   Cycle ctrl_free_ = 0;
   std::uint64_t served_ = 0;
+  obs::TraceWriter* trace_ = nullptr;
 };
 
 }  // namespace hmcc::hmc

@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
@@ -66,15 +67,66 @@ json::Value snapshot_to_json(const system::JobSnapshot& snap) {
   return o;
 }
 
+/// Dispatch index of a routing-table entry (the handlers are BenchService
+/// members, so the table stores WHICH handler, and route() does the call).
+enum class Endpoint : std::uint8_t {
+  kBenches,
+  kHealthz,
+  kMetrics,
+  kJobs,
+  kJobById,
+};
+
+/// One served endpoint: how to match the target, the bounded-cardinality
+/// metrics label, which methods are allowed (order fixes the 405 text), and
+/// the handler. route() and route_label() both walk this table, so an
+/// endpoint cannot exist in the dispatcher without a metrics label or vice
+/// versa.
+struct RouteSpec {
+  const char* pattern;  ///< exact target, or path prefix when prefix is set
+  bool prefix;
+  const char* label;  ///< metrics label ("/jobs/{id}", not one per job id)
+  std::vector<std::string> methods;
+  Endpoint endpoint;
+};
+
+const std::vector<RouteSpec>& routes() {
+  // Order matters: exact "/jobs" precedes the "/jobs/" prefix entry.
+  static const std::vector<RouteSpec> table = {
+      {"/benches", false, "/benches", {"GET"}, Endpoint::kBenches},
+      {"/healthz", false, "/healthz", {"GET"}, Endpoint::kHealthz},
+      {"/metrics", false, "/metrics", {"GET"}, Endpoint::kMetrics},
+      {"/jobs", false, "/jobs", {"POST"}, Endpoint::kJobs},
+      {"/jobs/", true, "/jobs/{id}", {"GET", "DELETE"}, Endpoint::kJobById},
+  };
+  return table;
+}
+
+const RouteSpec* match_route(const std::string& target) {
+  for (const RouteSpec& r : routes()) {
+    const bool hit = r.prefix ? target.rfind(r.pattern, 0) == 0
+                              : target == r.pattern;
+    if (hit) return &r;
+  }
+  return nullptr;
+}
+
+/// "use GET", "use POST", "use GET or DELETE" — derived from the table so
+/// the message can't contradict the check.
+std::string allow_message(const RouteSpec& r) {
+  std::string msg = "use ";
+  for (std::size_t i = 0; i < r.methods.size(); ++i) {
+    if (i != 0) msg += " or ";
+    msg += r.methods[i];
+  }
+  return msg;
+}
+
 /// Bounded-cardinality route label for the HTTP metrics: concrete job ids
 /// must not mint one time series each.
 const char* route_label(const std::string& target) {
-  if (target == "/benches") return "/benches";
-  if (target == "/healthz") return "/healthz";
-  if (target == "/metrics") return "/metrics";
-  if (target == "/jobs") return "/jobs";
-  if (target.rfind("/jobs/", 0) == 0) return "/jobs/{id}";
-  return "other";
+  const RouteSpec* r = match_route(target);
+  return r != nullptr ? r->label : "other";
 }
 
 system::JobManager::Options bind_registry(system::JobManager::Options o,
@@ -115,28 +167,31 @@ HttpResponse BenchService::handle(const HttpRequest& req) {
 
 HttpResponse BenchService::route(const HttpRequest& req) {
   try {
-    if (req.target == "/benches") {
-      if (req.method != "GET") return error_json(405, "use GET");
-      return list_benches();
+    const RouteSpec* spec = match_route(req.target);
+    if (spec == nullptr) return error_json(404, "no such endpoint");
+
+    // A "/jobs/<garbage>" target matched the prefix for labeling purposes
+    // but is not a real endpoint: 404 before any method check.
+    std::optional<std::uint64_t> id;
+    if (spec->endpoint == Endpoint::kJobById) {
+      id = parse_job_id(req.target, spec->pattern);
+      if (!id) return error_json(404, "no such endpoint");
     }
-    if (req.target == "/healthz") {
-      if (req.method != "GET") return error_json(405, "use GET");
-      return healthz();
+
+    if (std::find(spec->methods.begin(), spec->methods.end(), req.method) ==
+        spec->methods.end()) {
+      return error_json(405, allow_message(*spec));
     }
-    if (req.target == "/metrics") {
-      if (req.method != "GET") return error_json(405, "use GET");
-      return metrics_exposition();
+
+    switch (spec->endpoint) {
+      case Endpoint::kBenches: return list_benches();
+      case Endpoint::kHealthz: return healthz();
+      case Endpoint::kMetrics: return metrics_exposition();
+      case Endpoint::kJobs: return submit_job(req);
+      case Endpoint::kJobById:
+        return req.method == "GET" ? job_status(*id) : cancel_job(*id);
     }
-    if (req.target == "/jobs") {
-      if (req.method != "POST") return error_json(405, "use POST");
-      return submit_job(req);
-    }
-    if (const auto id = parse_job_id(req.target, "/jobs/")) {
-      if (req.method == "GET") return job_status(*id);
-      if (req.method == "DELETE") return cancel_job(*id);
-      return error_json(405, "use GET or DELETE");
-    }
-    return error_json(404, "no such endpoint");
+    return error_json(404, "no such endpoint");  // unreachable
   } catch (const std::exception& e) {
     return error_json(500, e.what());
   } catch (...) {

@@ -55,6 +55,13 @@ struct ObsConfig {
   std::string trace_json;
   /// Event cap for the trace buffer; later events are counted as dropped.
   std::uint64_t trace_max_events = 1u << 20;
+  /// When metrics is on and this is non-zero, sample every `sampled` stat
+  /// descriptor (CRQ occupancy, MSHR occupancy) into the registry every
+  /// this-many cycles during run(): each tick sets the gauge and feeds a
+  /// `<name>_samples` histogram, so the registry holds the occupancy
+  /// DISTRIBUTION, not just the end-of-run value. 0 = off. The sampler only
+  /// reads simulator state — results are identical with it on or off.
+  Cycle sample_interval = 0;
 };
 
 struct SystemConfig {

@@ -1,123 +1,317 @@
 #include "system/config_bridge.hpp"
 
+#include <stdexcept>
+
 #include "common/bits.hpp"
 #include "system/runner.hpp"
 
 namespace hmcc::system {
 namespace {
 
-std::uint32_t u32(const Config& cli, const char* key, std::uint32_t fb) {
-  return static_cast<std::uint32_t>(cli.get_uint(key, fb));
+using desc::Knob;
+
+// Table-entry shorthands: every platform knob shares scope "platform".
+Knob<SystemConfig> u(const char* key, const char* help, std::uint64_t min,
+                     std::uint64_t max,
+                     std::function<std::uint64_t(const SystemConfig&)> get,
+                     std::function<void(SystemConfig&, std::uint64_t)> set) {
+  return desc::uint_knob<SystemConfig>(key, "platform", help, min, max,
+                                       std::move(get), std::move(set));
+}
+
+Knob<SystemConfig> b(const char* key, const char* help,
+                     std::function<bool(const SystemConfig&)> get,
+                     std::function<void(SystemConfig&, bool)> set) {
+  return desc::bool_knob<SystemConfig>(key, "platform", help, std::move(get),
+                                       std::move(set));
+}
+
+std::vector<Knob<SystemConfig>> build_platform_knobs() {
+  constexpr std::uint64_t kCycleMax = 1'000'000;
+  std::vector<Knob<SystemConfig>> t;
+
+  // Cores / front end.
+  t.push_back(u("cores", "CPU cores", 1, 4096,
+                [](const SystemConfig& c) { return c.hierarchy.num_cores; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hierarchy.num_cores = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("llc_mshrs", "LLC MSHR entries", 1, 65536,
+                [](const SystemConfig& c) { return c.hierarchy.llc_mshrs; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hierarchy.llc_mshrs = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(
+      u("mlp", "max outstanding misses per core", 1, 65536,
+        [](const SystemConfig& c) { return c.core.max_outstanding_misses; },
+        [](SystemConfig& c, std::uint64_t v) {
+          c.core.max_outstanding_misses = static_cast<std::uint32_t>(v);
+        }));
+  t.push_back(u("issue_interval", "cycles between issues", 0, kCycleMax,
+                [](const SystemConfig& c) { return c.core.issue_interval; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.core.issue_interval = v;
+                }));
+
+  // Caches. Sizes are spelled in KiB on the CLI.
+  t.push_back(
+      u("l1_kb", "L1 size (KiB)", 1, 1u << 20,
+        [](const SystemConfig& c) { return c.hierarchy.l1.size_bytes >> 10; },
+        [](SystemConfig& c, std::uint64_t v) {
+          c.hierarchy.l1.size_bytes = v << 10;
+        }));
+  t.push_back(u("l1_ways", "L1 associativity", 1, 1024,
+                [](const SystemConfig& c) { return c.hierarchy.l1.ways; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hierarchy.l1.ways = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(
+      u("l2_kb", "L2 size (KiB)", 1, 1u << 20,
+        [](const SystemConfig& c) { return c.hierarchy.l2.size_bytes >> 10; },
+        [](SystemConfig& c, std::uint64_t v) {
+          c.hierarchy.l2.size_bytes = v << 10;
+        }));
+  t.push_back(u("l2_ways", "L2 associativity", 1, 1024,
+                [](const SystemConfig& c) { return c.hierarchy.l2.ways; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hierarchy.l2.ways = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(
+      u("llc_kb", "LLC size (KiB)", 1, 1u << 20,
+        [](const SystemConfig& c) { return c.hierarchy.llc.size_bytes >> 10; },
+        [](SystemConfig& c, std::uint64_t v) {
+          c.hierarchy.llc.size_bytes = v << 10;
+        }));
+  t.push_back(u("llc_ways", "LLC associativity", 1, 1024,
+                [](const SystemConfig& c) { return c.hierarchy.llc.ways; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hierarchy.llc.ways = static_cast<std::uint32_t>(v);
+                }));
+  // One knob fans to every level plus the coalescer: the paper platform
+  // keeps a single line size end to end.
+  t.push_back(u("line_bytes", "cache line bytes", 8, 4096,
+                [](const SystemConfig& c) { return c.coalescer.line_bytes; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  const auto line = static_cast<std::uint32_t>(v);
+                  c.hierarchy.l1.line_bytes = line;
+                  c.hierarchy.l2.line_bytes = line;
+                  c.hierarchy.llc.line_bytes = line;
+                  c.coalescer.line_bytes = line;
+                }));
+
+  // Coalescer.
+  t.push_back(u("window", "coalescing window n (power of two)", 2, 1024,
+                [](const SystemConfig& c) { return c.coalescer.window; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.coalescer.window = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("tau", "coalescing threshold tau", 0, kCycleMax,
+                [](const SystemConfig& c) { return c.coalescer.tau; },
+                [](SystemConfig& c, std::uint64_t v) { c.coalescer.tau = v; }));
+  t.push_back(
+      u("timeout", "coalescer timeout (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.coalescer.timeout; },
+        [](SystemConfig& c, std::uint64_t v) { c.coalescer.timeout = v; }));
+  t.push_back(u("max_subentries", "dynamic MSHR subentries", 1, 65536,
+                [](const SystemConfig& c) { return c.coalescer.max_subentries; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.coalescer.max_subentries = static_cast<std::uint32_t>(v);
+                }));
+  // NOTE: applied before mode= (table order), and apply_mode() then derives
+  // the flag set from the mode — so an explicit bypass= only survives when
+  // no mode change re-derives it. This matches the historical behavior.
+  t.push_back(
+      b("bypass", "enable coalescer bypass",
+        [](const SystemConfig& c) { return c.coalescer.enable_bypass; },
+        [](SystemConfig& c, bool v) { c.coalescer.enable_bypass = v; }));
+  t.push_back(desc::enum_knob<SystemConfig>(
+      "pipeline", "platform", "pipeline shape: stage|step", {"stage", "step"},
+      [](const SystemConfig& c) {
+        return std::string(c.coalescer.pipeline_shape ==
+                                   coalescer::PipelineShape::kPerStage
+                               ? "stage"
+                               : "step");
+      },
+      [](SystemConfig& c, const std::string& v) {
+        c.coalescer.pipeline_shape = v == "stage"
+                                         ? coalescer::PipelineShape::kPerStage
+                                         : coalescer::PipelineShape::kPerStep;
+      }));
+
+  // HMC.
+  t.push_back(
+      u("hmc_gb", "HMC capacity (GiB)", 1, 1024,
+        [](const SystemConfig& c) { return c.hmc.capacity_bytes >> 30; },
+        [](SystemConfig& c, std::uint64_t v) {
+          c.hmc.capacity_bytes = v << 30;
+        }));
+  t.push_back(u("vaults", "HMC vaults (power of two)", 1, 1024,
+                [](const SystemConfig& c) { return c.hmc.num_vaults; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hmc.num_vaults = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("banks", "banks per vault", 1, 1024,
+                [](const SystemConfig& c) { return c.hmc.banks_per_vault; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hmc.banks_per_vault = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("links", "HMC links", 1, 64,
+                [](const SystemConfig& c) { return c.hmc.num_links; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hmc.num_links = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("block_bytes", "HMC block addressing bytes", 32, 4096,
+                [](const SystemConfig& c) { return c.hmc.block_bytes; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hmc.block_bytes = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("max_packet", "max packet payload bytes", 32, 4096,
+                [](const SystemConfig& c) { return c.coalescer.max_packet_bytes; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.coalescer.max_packet_bytes = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(b("closed_page", "closed-page policy",
+                [](const SystemConfig& c) { return c.hmc.closed_page; },
+                [](SystemConfig& c, bool v) { c.hmc.closed_page = v; }));
+  t.push_back(u("t_rcd", "DRAM tRCD (cycles)", 0, kCycleMax,
+                [](const SystemConfig& c) { return c.hmc.t_rcd; },
+                [](SystemConfig& c, std::uint64_t v) { c.hmc.t_rcd = v; }));
+  t.push_back(u("t_cl", "DRAM tCL (cycles)", 0, kCycleMax,
+                [](const SystemConfig& c) { return c.hmc.t_cl; },
+                [](SystemConfig& c, std::uint64_t v) { c.hmc.t_cl = v; }));
+  t.push_back(u("t_rp", "DRAM tRP (cycles)", 0, kCycleMax,
+                [](const SystemConfig& c) { return c.hmc.t_rp; },
+                [](SystemConfig& c, std::uint64_t v) { c.hmc.t_rp = v; }));
+  t.push_back(u("t_ras", "DRAM tRAS (cycles)", 0, kCycleMax,
+                [](const SystemConfig& c) { return c.hmc.t_ras; },
+                [](SystemConfig& c, std::uint64_t v) { c.hmc.t_ras = v; }));
+  t.push_back(
+      u("serdes", "SerDes latency (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.hmc.serdes_latency; },
+        [](SystemConfig& c, std::uint64_t v) { c.hmc.serdes_latency = v; }));
+  t.push_back(
+      u("xbar", "crossbar latency (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.hmc.xbar_latency; },
+        [](SystemConfig& c, std::uint64_t v) { c.hmc.xbar_latency = v; }));
+  t.push_back(
+      u("cycles_per_flit", "link cycles per FLIT", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.hmc.cycles_per_flit; },
+        [](SystemConfig& c, std::uint64_t v) { c.hmc.cycles_per_flit = v; }));
+
+  // Datapath mode ("full" accepted as a legacy alias of "coalescer").
+  t.push_back(desc::enum_knob<SystemConfig>(
+      "mode", "platform", "datapath: none|conventional|dmc-only|coalescer",
+      {"none", "conventional", "dmc-only", "coalescer"},
+      [](const SystemConfig& c) { return std::string(to_string(c.mode)); },
+      [](SystemConfig& c, const std::string& v) {
+        if (v == "none") {
+          c.mode = CoalescerMode::kNone;
+        } else if (v == "conventional") {
+          c.mode = CoalescerMode::kConventional;
+        } else if (v == "dmc-only") {
+          c.mode = CoalescerMode::kDmcOnly;
+        } else {  // "coalescer" or the alias "full"
+          c.mode = CoalescerMode::kFull;
+        }
+      },
+      {"full"}));
+
+  // Observability (defaults off: no registry, no trace, byte-identical
+  // output to an uninstrumented run).
+  t.push_back(b("metrics", "build per-System metrics registry",
+                [](const SystemConfig& c) { return c.obs.metrics; },
+                [](SystemConfig& c, bool v) { c.obs.metrics = v; }));
+  t.push_back(desc::string_knob<SystemConfig>(
+      "trace_json", "platform", "chrome://tracing output path (\"\" disables)",
+      [](const SystemConfig& c) { return c.obs.trace_json; },
+      [](SystemConfig& c, std::string v) { c.obs.trace_json = std::move(v); }));
+  t.push_back(
+      u("trace_events", "trace event buffer cap", 1, 1ULL << 32,
+        [](const SystemConfig& c) { return c.obs.trace_max_events; },
+        [](SystemConfig& c, std::uint64_t v) { c.obs.trace_max_events = v; }));
+  t.push_back(
+      u("sample_interval", "mid-run stat sampling period in cycles (0 = off)",
+        0, 1ULL << 40,
+        [](const SystemConfig& c) { return c.obs.sample_interval; },
+        [](SystemConfig& c, std::uint64_t v) { c.obs.sample_interval = v; }));
+
+  // Fill each knob's canonical default from the paper platform: the same
+  // read() that round-trips a live config also documents the default.
+  const SystemConfig defaults = paper_system_config();
+  for (Knob<SystemConfig>& k : t) k.meta.default_value = k.read(defaults);
+  return t;
 }
 
 }  // namespace
 
-bool overlay_config(const Config& cli, SystemConfig& cfg) {
-  // Cores / front end.
-  cfg.hierarchy.num_cores = u32(cli, "cores", cfg.hierarchy.num_cores);
-  cfg.hierarchy.llc_mshrs = u32(cli, "llc_mshrs", cfg.hierarchy.llc_mshrs);
-  cfg.core.max_outstanding_misses =
-      u32(cli, "mlp", cfg.core.max_outstanding_misses);
-  cfg.core.issue_interval =
-      cli.get_uint("issue_interval", cfg.core.issue_interval);
+const std::vector<desc::Knob<SystemConfig>>& platform_knobs() {
+  static const std::vector<Knob<SystemConfig>> table = build_platform_knobs();
+  return table;
+}
 
-  // Caches.
-  cfg.hierarchy.l1.size_bytes =
-      cli.get_uint("l1_kb", cfg.hierarchy.l1.size_bytes >> 10) << 10;
-  cfg.hierarchy.l1.ways = u32(cli, "l1_ways", cfg.hierarchy.l1.ways);
-  cfg.hierarchy.l2.size_bytes =
-      cli.get_uint("l2_kb", cfg.hierarchy.l2.size_bytes >> 10) << 10;
-  cfg.hierarchy.l2.ways = u32(cli, "l2_ways", cfg.hierarchy.l2.ways);
-  cfg.hierarchy.llc.size_bytes =
-      cli.get_uint("llc_kb", cfg.hierarchy.llc.size_bytes >> 10) << 10;
-  cfg.hierarchy.llc.ways = u32(cli, "llc_ways", cfg.hierarchy.llc.ways);
-  const std::uint32_t line = u32(cli, "line_bytes", cfg.coalescer.line_bytes);
-  cfg.hierarchy.l1.line_bytes = line;
-  cfg.hierarchy.l2.line_bytes = line;
-  cfg.hierarchy.llc.line_bytes = line;
-  cfg.coalescer.line_bytes = line;
+const std::vector<desc::KnobMeta>& platform_knob_metadata() {
+  static const std::vector<desc::KnobMeta> meta =
+      desc::knob_metadata(platform_knobs());
+  return meta;
+}
 
-  // Coalescer.
-  cfg.coalescer.window = u32(cli, "window", cfg.coalescer.window);
-  cfg.coalescer.tau = cli.get_uint("tau", cfg.coalescer.tau);
-  cfg.coalescer.timeout = cli.get_uint("timeout", cfg.coalescer.timeout);
-  cfg.coalescer.max_subentries =
-      u32(cli, "max_subentries", cfg.coalescer.max_subentries);
-  cfg.coalescer.enable_bypass =
-      cli.get_bool("bypass", cfg.coalescer.enable_bypass);
-  const std::string pipe = cli.get_string("pipeline", "");
-  if (pipe == "step") {
-    cfg.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStep;
-  } else if (pipe == "stage") {
-    cfg.coalescer.pipeline_shape = coalescer::PipelineShape::kPerStage;
-  } else if (!pipe.empty()) {
-    return false;
-  }
-
-  // HMC.
-  cfg.hmc.capacity_bytes =
-      cli.get_uint("hmc_gb", cfg.hmc.capacity_bytes >> 30) << 30;
-  cfg.hmc.num_vaults = u32(cli, "vaults", cfg.hmc.num_vaults);
-  cfg.hmc.banks_per_vault = u32(cli, "banks", cfg.hmc.banks_per_vault);
-  cfg.hmc.num_links = u32(cli, "links", cfg.hmc.num_links);
-  cfg.hmc.block_bytes = u32(cli, "block_bytes", cfg.hmc.block_bytes);
-  cfg.coalescer.max_packet_bytes =
-      u32(cli, "max_packet", cfg.coalescer.max_packet_bytes);
-  cfg.hmc.closed_page = cli.get_bool("closed_page", cfg.hmc.closed_page);
-  cfg.hmc.t_rcd = cli.get_uint("t_rcd", cfg.hmc.t_rcd);
-  cfg.hmc.t_cl = cli.get_uint("t_cl", cfg.hmc.t_cl);
-  cfg.hmc.t_rp = cli.get_uint("t_rp", cfg.hmc.t_rp);
-  cfg.hmc.t_ras = cli.get_uint("t_ras", cfg.hmc.t_ras);
-  cfg.hmc.serdes_latency = cli.get_uint("serdes", cfg.hmc.serdes_latency);
-  cfg.hmc.xbar_latency = cli.get_uint("xbar", cfg.hmc.xbar_latency);
-  cfg.hmc.cycles_per_flit =
-      cli.get_uint("cycles_per_flit", cfg.hmc.cycles_per_flit);
-
-  // Observability (defaults off: no registry, no trace, byte-identical
-  // output to an uninstrumented run).
-  cfg.obs.metrics = cli.get_bool("metrics", cfg.obs.metrics);
-  cfg.obs.trace_json = cli.get_string("trace_json", cfg.obs.trace_json);
-  cfg.obs.trace_max_events =
-      cli.get_uint("trace_events", cfg.obs.trace_max_events);
-
-  // Datapath mode.
-  const std::string mode = cli.get_string("mode", "");
-  if (mode == "none") {
-    cfg.mode = CoalescerMode::kNone;
-  } else if (mode == "conventional") {
-    cfg.mode = CoalescerMode::kConventional;
-  } else if (mode == "dmc-only") {
-    cfg.mode = CoalescerMode::kDmcOnly;
-  } else if (mode == "coalescer" || mode == "full") {
-    cfg.mode = CoalescerMode::kFull;
-  } else if (!mode.empty()) {
-    return false;
+bool overlay_config(const Config& cli, SystemConfig& cfg,
+                    std::vector<std::string>& errors) {
+  const std::size_t before = errors.size();
+  for (const Knob<SystemConfig>& k : platform_knobs()) {
+    if (!cli.has(k.meta.key)) continue;
+    const std::string raw = cli.get_string(k.meta.key, "");
+    // Historical convenience: an empty enum value (mode=, pipeline=) keeps
+    // the current setting instead of failing validation.
+    if (k.meta.kind == desc::KnobKind::kEnum && raw.empty()) continue;
+    const std::string err = k.apply(cfg, raw);
+    if (!err.empty()) errors.push_back(k.meta.key + ": " + err);
   }
 
   apply_mode(cfg, cfg.mode);
-  return cfg.hmc.valid() && cfg.hierarchy.l1.valid() &&
-         cfg.hierarchy.l2.valid() && cfg.hierarchy.llc.valid() &&
-         is_pow2(cfg.coalescer.window);
+
+  if (!cfg.hmc.valid()) {
+    errors.push_back(
+        "hmc: invalid geometry (capacity/vaults/banks/block_bytes must be "
+        "powers of two and consistent)");
+  }
+  if (!cfg.hierarchy.l1.valid()) {
+    errors.push_back("l1: invalid geometry (size/ways/line_bytes)");
+  }
+  if (!cfg.hierarchy.l2.valid()) {
+    errors.push_back("l2: invalid geometry (size/ways/line_bytes)");
+  }
+  if (!cfg.hierarchy.llc.valid()) {
+    errors.push_back("llc: invalid geometry (size/ways/line_bytes)");
+  }
+  if (!is_pow2(cfg.coalescer.window)) {
+    errors.push_back("window: must be a power of two");
+  }
+  return errors.size() == before;
+}
+
+bool overlay_config(const Config& cli, SystemConfig& cfg) {
+  std::vector<std::string> errors;
+  return overlay_config(cli, cfg, errors);
 }
 
 SystemConfig config_from_cli(const Config& cli) {
   SystemConfig cfg = paper_system_config();
-  overlay_config(cli, cfg);
+  std::vector<std::string> errors;
+  if (!overlay_config(cli, cfg, errors)) {
+    std::string msg = "invalid platform knobs:";
+    for (const std::string& e : errors) {
+      msg += "\n  ";
+      msg += e;
+    }
+    throw std::invalid_argument(msg);
+  }
   return cfg;
 }
 
 const std::vector<std::string>& platform_cli_keys() {
-  static const std::vector<std::string> keys = {
-      "cores",      "llc_mshrs",      "mlp",        "issue_interval",
-      "l1_kb",      "l1_ways",        "l2_kb",      "l2_ways",
-      "llc_kb",     "llc_ways",       "line_bytes", "window",
-      "tau",        "timeout",        "max_subentries", "bypass",
-      "pipeline",   "hmc_gb",         "vaults",     "banks",
-      "links",      "block_bytes",    "max_packet", "closed_page",
-      "t_rcd",      "t_cl",           "t_rp",       "t_ras",
-      "serdes",     "xbar",           "cycles_per_flit", "mode",
-      "metrics",    "trace_json",     "trace_events",
-  };
+  static const std::vector<std::string> keys =
+      desc::knob_keys(platform_knobs());
   return keys;
 }
 

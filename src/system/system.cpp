@@ -24,6 +24,7 @@ System::System(SystemConfig cfg)
   if (!cfg_.obs.trace_json.empty()) {
     trace_ = std::make_unique<obs::TraceWriter>(cfg_.obs.trace_max_events);
     coalescer_->set_trace(trace_.get());
+    hmc_.set_trace(trace_.get());
   }
 }
 
@@ -229,6 +230,13 @@ SystemReport System::run(const trace::MultiTrace& mtrace) {
     cores_[c].done = true;
   }
 
+  if (metrics_ && cfg_.obs.sample_interval > 0 && cores_running_ > 0) {
+    if (!sample_set_) {
+      sample_set_ = std::make_unique<desc::StatSet>(stat_descriptors());
+    }
+    arm_sampler();
+  }
+
   kernel_.run();
 
   SystemReport rep;
@@ -249,25 +257,46 @@ SystemReport System::run(const trace::MultiTrace& mtrace) {
   return rep;
 }
 
+bool System::sim_drained() const {
+  if (cores_running_ > 0) return false;
+  return coalescer_->idle() && hmc_.outstanding() == 0;
+}
+
+void System::arm_sampler() {
+  // One self-rescheduling read-only event: each tick samples every `sampled`
+  // descriptor into the registry, then re-arms UNLESS the simulation has
+  // drained — a sampler that kept rescheduling would keep the kernel alive
+  // forever. Sampling never mutates simulator state, so a run's results are
+  // byte-identical with the sampler on or off.
+  kernel_.schedule(cfg_.obs.sample_interval, [this] {
+    sample_set_->sample(*metrics_);
+    if (!sim_drained()) arm_sampler();
+  });
+}
+
+desc::StatSet System::stat_descriptors() const {
+  desc::StatSet set;
+  set.extend(coalescer_->stat_descriptors());
+  set.extend(hmc_.stat_descriptors());
+  set.extend(hierarchy_.stat_descriptors());
+  set.counter("hmcc_system_cpu_accesses_total", "CPU accesses replayed",
+              [this] { return cpu_accesses_; })
+      .counter("hmcc_system_llc_misses_total",
+               "Demand misses sent to the coalescer",
+               [this] { return llc_misses_; })
+      .counter("hmcc_system_writebacks_total",
+               "Dirty evictions sent to memory", [this] { return writebacks_; })
+      .counter("hmcc_system_miss_payload_bytes_total",
+               "CPU-requested bytes of all LLC misses",
+               [this] { return miss_payload_bytes_; })
+      .gauge("hmcc_system_runtime_cycles",
+             "Cycle of the last completed access",
+             [this] { return static_cast<double>(last_activity_); });
+  return set;
+}
+
 void System::publish_metrics(obs::MetricsRegistry& reg) const {
-  coalescer::publish_metrics(coalescer_->stats(), reg);
-  coalescer::publish_metrics(coalescer_->mshrs().stats(), reg);
-  hmc_.publish_metrics(reg);
-  hierarchy_.publish_metrics(reg);
-  reg.counter("hmcc_system_cpu_accesses_total", "CPU accesses replayed")
-      .inc(cpu_accesses_);
-  reg.counter("hmcc_system_llc_misses_total",
-              "Demand misses sent to the coalescer")
-      .inc(llc_misses_);
-  reg.counter("hmcc_system_writebacks_total",
-              "Dirty evictions sent to memory")
-      .inc(writebacks_);
-  reg.counter("hmcc_system_miss_payload_bytes_total",
-              "CPU-requested bytes of all LLC misses")
-      .inc(miss_payload_bytes_);
-  reg.gauge("hmcc_system_runtime_cycles",
-            "Cycle of the last completed access")
-      .set(static_cast<double>(last_activity_));
+  stat_descriptors().publish(reg);
 }
 
 }  // namespace hmcc::system

@@ -14,6 +14,7 @@
 
 #include "cache/hierarchy.hpp"
 #include "coalescer/coalescer.hpp"
+#include "common/descriptor.hpp"
 #include "hmc/device.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_writer.hpp"
@@ -87,6 +88,13 @@ class System {
   [[nodiscard]] obs::TraceWriter* trace() const noexcept {
     return trace_.get();
   }
+  /// The full metric schema of the simulated system: every component's
+  /// stat descriptors (coalescer, dynamic MSHRs, HMC wire + per-vault,
+  /// cache levels) plus the system-level accounting. One declaration feeds
+  /// end-of-run publication AND mid-run sampling (obs.sample_interval).
+  /// Sample functions read live state: the System must outlive the set.
+  [[nodiscard]] desc::StatSet stat_descriptors() const;
+
   /// Publish every sim layer's counters (coalescer, dynamic MSHRs, HMC
   /// wire + per-vault, cache levels, system accounting) into @p reg.
   /// Callable any time; normally used on an external registry after run().
@@ -118,6 +126,8 @@ class System {
   void on_complete(Addr line_addr, std::uint64_t token);
   void maybe_release_barrier();
   std::uint64_t alloc_token(std::uint32_t core, bool is_store);
+  [[nodiscard]] bool sim_drained() const;
+  void arm_sampler();
 
   SystemConfig cfg_;
   Kernel kernel_;
@@ -130,6 +140,9 @@ class System {
   MissHook miss_hook_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;  ///< cfg.obs.metrics only
   std::unique_ptr<obs::TraceWriter> trace_;        ///< cfg.obs.trace_json only
+  /// Descriptors driven by the mid-run sampler; built lazily on the first
+  /// run() with metrics + sample_interval on.
+  std::unique_ptr<desc::StatSet> sample_set_;
 
   // Run-wide accounting.
   Cycle last_activity_ = 0;
