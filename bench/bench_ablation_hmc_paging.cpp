@@ -12,12 +12,12 @@ namespace hmcc::bench {
 
 SuiteBench make_ablation_hmc_paging() {
   SuiteBench b;
-  b.name = "ablation_hmc_paging";
-  b.title = "Ablation: HMC Row-Buffer Policy";
-  b.paper_note =
+  b.meta.name = "ablation_hmc_paging";
+  b.meta.title = "Ablation: HMC Row-Buffer Policy";
+  b.meta.paper_note =
       "closed-page (HMC default) is where coalescing saves the most "
       "row cycles";
-  b.default_accesses = 8000;
+  b.meta.default_accesses = 8000;
   b.tasks = [](const BenchEnv& env) {
     const std::vector<std::string> names = {"stream", "ft", "sg"};
     std::vector<system::SweepRunner::Point> points;

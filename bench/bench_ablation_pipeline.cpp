@@ -15,12 +15,12 @@ namespace hmcc::bench {
 
 SuiteBench make_ablation_pipeline() {
   SuiteBench b;
-  b.name = "ablation_pipeline";
-  b.title = "Pipeline shape end-to-end impact";
-  b.paper_note =
+  b.meta.name = "ablation_pipeline";
+  b.meta.title = "Pipeline shape end-to-end impact";
+  b.meta.paper_note =
       "paper: the 2-tau penalty of the 4-stage design is negligible "
       "next to >=100ns memory accesses";
-  b.default_accesses = 8000;
+  b.meta.default_accesses = 8000;
   b.tasks = [](const BenchEnv& env) {
     const std::vector<std::string> names = {"stream", "ft", "hpcg"};
     std::vector<system::SweepRunner::Point> points;

@@ -12,9 +12,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig01() {
   SuiteBench b;
-  b.name = "fig01";
-  b.title = "Figure 1: Bandwidth Efficiency of HMC Packets";
-  b.paper_note = "paper endpoints: 33.33% @16B -> 88.89% @256B";
+  b.meta.name = "fig01";
+  b.meta.title = "Figure 1: Bandwidth Efficiency of HMC Packets";
+  b.meta.paper_note = "paper endpoints: 33.33% @16B -> 88.89% @256B";
   // Pure packet arithmetic, but still expressed as one task so every
   // registered bench goes through the same task->format pipeline (the suite
   // scheduler and the service daemon never special-case empty task lists).

@@ -12,9 +12,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig02() {
   SuiteBench b;
-  b.name = "fig02";
-  b.title = "Figure 2: Control Overhead vs Requested Data";
-  b.paper_note =
+  b.meta.name = "fig02";
+  b.meta.title = "Figure 2: Control Overhead vs Requested Data";
+  b.meta.paper_note =
       "control bytes moved for a fixed payload volume, by request "
       "size (paper: 16B packets ship 16x the control of 256B)";
   // Pure arithmetic wrapped as one task — see fig01 for why every bench

@@ -11,9 +11,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig08() {
   SuiteBench b;
-  b.name = "fig08";
-  b.title = "Figure 8: Coalescing Efficiency";
-  b.paper_note =
+  b.meta.name = "fig08";
+  b.meta.title = "Figure 8: Coalescing Efficiency";
+  b.meta.paper_note =
       "paper averages: MSHR 31.53% | DMC 38.13% | two-phase 47.47% "
       "(FT best, 75.52%)";
   b.tasks = [](const BenchEnv& env) {

@@ -63,9 +63,9 @@ struct Fig09Row {
 
 SuiteBench make_fig09() {
   SuiteBench b;
-  b.name = "fig09";
-  b.title = "Figure 9: Bandwidth Efficiency, Raw vs Coalesced";
-  b.paper_note =
+  b.meta.name = "fig09";
+  b.meta.title = "Figure 9: Bandwidth Efficiency, Raw vs Coalesced";
+  b.meta.paper_note =
       "paper: raw 7.43% avg, coalesced 27.73% avg (~4x); HPCG low "
       "(20.02%) due to small payloads";
   b.tasks = [](const BenchEnv& env) {

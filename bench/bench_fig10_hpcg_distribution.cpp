@@ -25,9 +25,9 @@ struct Fig10Histogram {
 
 SuiteBench make_fig10() {
   SuiteBench b;
-  b.name = "fig10";
-  b.title = "Figure 10: Coalesced HMC Request Distribution of HPCG";
-  b.paper_note = "paper: 40.25% of coalesced requests are 16B loads";
+  b.meta.name = "fig10";
+  b.meta.title = "Figure 10: Coalesced HMC Request Distribution of HPCG";
+  b.meta.paper_note = "paper: 40.25% of coalesced requests are 16B loads";
   b.tasks = [](const BenchEnv& env) {
     system::SystemConfig cfg = env.base_config();
     system::apply_mode(cfg, system::CoalescerMode::kConventional);

@@ -11,9 +11,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig11() {
   SuiteBench b;
-  b.name = "fig11";
-  b.title = "Figure 11: Bandwidth Saving";
-  b.paper_note =
+  b.meta.name = "fig11";
+  b.meta.title = "Figure 11: Bandwidth Saving";
+  b.meta.paper_note =
       "paper: 33.25 GB average saving; LU and SP largest (their "
       "traces are the biggest) — compare ordering, not absolutes";
   b.tasks = [](const BenchEnv& env) {

@@ -9,9 +9,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig12() {
   SuiteBench b;
-  b.name = "fig12";
-  b.title = "Figure 12: DMC Unit Coalescing Latency";
-  b.paper_note =
+  b.meta.name = "fig12";
+  b.meta.title = "Figure 12: DMC Unit Coalescing Latency";
+  b.meta.paper_note =
       "paper: 7.1 ns average, all benchmarks below 9 ns at 3.3 GHz";
   b.tasks = [](const BenchEnv& env) {
     std::vector<system::SweepRunner::Point> points;

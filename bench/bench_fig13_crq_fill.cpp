@@ -10,9 +10,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig13() {
   SuiteBench b;
-  b.name = "fig13";
-  b.title = "Figure 13: Time Cost of Filling the CRQ";
-  b.paper_note =
+  b.meta.name = "fig13";
+  b.meta.title = "Figure 13: Time Cost of Filling the CRQ";
+  b.meta.paper_note =
       "paper: 15.86 ns average; FT worst (34.76 ns) because high "
       "coalescing spends more merge-stage time";
   b.tasks = [](const BenchEnv& env) {

@@ -11,9 +11,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig14() {
   SuiteBench b;
-  b.name = "fig14";
-  b.title = "Figure 14: Coalescer Latency vs Timeout (16..28 cycles)";
-  b.paper_note = "paper: latency flat for T<=24, rises at T=28 (except FT)";
+  b.meta.name = "fig14";
+  b.meta.title = "Figure 14: Coalescer Latency vs Timeout (16..28 cycles)";
+  b.meta.paper_note = "paper: latency flat for T<=24, rises at T=28 (except FT)";
   b.tasks = [](const BenchEnv& env) {
     const Cycle timeouts[] = {16, 20, 24, 28};
     std::vector<system::SweepRunner::Point> points;

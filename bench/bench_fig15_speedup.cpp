@@ -9,9 +9,9 @@ namespace hmcc::bench {
 
 SuiteBench make_fig15() {
   SuiteBench b;
-  b.name = "fig15";
-  b.title = "Figure 15: Performance Improvement";
-  b.paper_note = "paper: 13.14% average; FT 25.43%, SparseLU 22.21% best";
+  b.meta.name = "fig15";
+  b.meta.title = "Figure 15: Performance Improvement";
+  b.meta.paper_note = "paper: 13.14% average; FT 25.43%, SparseLU 22.21% best";
   b.tasks = [](const BenchEnv& env) {
     std::vector<system::SweepRunner::Point> points;
     for (const std::string& name : workloads::workload_names()) {

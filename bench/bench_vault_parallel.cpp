@@ -1,0 +1,211 @@
+// Hot-path microbench for the two execution-strategy knobs this repo keeps
+// off by default:
+//
+//   * pool=on        — arena packet pools in the DMC/CRQ/MSHR datapath
+//                      (PacketPool: recycled request/packet vectors + SoA
+//                      key scratch) replacing per-batch heap churn.
+//   * vault_parallel — bound-weave execution in HmcDevice: vault-local lanes
+//                      advanced in parallel over a bounded cycle interval,
+//                      then woven back serially under reserved kernel seqs.
+//
+// The harness is the DMC -> CRQ -> vault path with no cores or caches in the
+// way: a MemoryCoalescer wired straight to an HmcDevice, paced completion-
+// driven (each finished request submits the next) so a bounded set of
+// packets is in flight — the MLP-limited steady state the pool is built for,
+// and the regime the full System runs in.  Requests mix coalescable
+// sequential bursts with scattered lines spanning every vault.
+//
+// Three configs are timed and cross-checked for identical simulated results:
+//   serial_no_pool          — baseline (the pre-PR allocation behavior)
+//   serial_pool             — pools on, serial kernel (target: >= 1.2x)
+//   weave_pool              — pools on + bound-weave lanes (bound=<knob>)
+//
+// Results print to stdout and land as JSON in BENCH_vault_parallel.json
+// (knob json=<path>, "" disables).  Knobs: requests=<n> (default 200000),
+// reps=<n> best-of repetitions (default 3), bound=<cycles> (default 256),
+// json=<path>.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coalescer/coalescer.hpp"
+#include "common/config.hpp"
+#include "hmc/device.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using hmcc::Addr;
+using hmcc::Cycle;
+using hmcc::ReqType;
+
+constexpr std::uint64_t kLcgMul = 6364136223846793005ULL;
+constexpr std::uint64_t kLcgAdd = 1442695040888963407ULL;
+constexpr std::uint64_t kInFlight = 64;  ///< outstanding raw requests
+
+/// Deterministic request stream: ~half coalescable sequential runs, ~half
+/// scattered 64 B lines over 1 GB (touches every vault of the default cube).
+struct RequestGen {
+  std::uint64_t rng = 0x9E3779B97F4A7C15ULL;
+  Addr seq_next = 1ULL << 30;
+
+  hmcc::coalescer::CoalescerRequest next(std::uint64_t token) {
+    rng = rng * kLcgMul + kLcgAdd;
+    hmcc::coalescer::CoalescerRequest r{};
+    if (((rng >> 33) & 1u) == 0) {
+      r.addr = seq_next;
+      seq_next += 64;
+      if (((rng >> 40) & 31u) == 0) {  // start a new run now and then
+        seq_next = (1ULL << 30) + ((rng >> 8) & ((1ULL << 28) - 1)) / 64 * 64;
+      }
+    } else {
+      r.addr = ((rng >> 12) & ((1ULL << 30) - 1)) / 64 * 64;
+    }
+    r.payload_bytes = 8;
+    r.type = ((rng >> 50) & 7u) < 2 ? ReqType::kStore : ReqType::kLoad;
+    r.token = token;
+    return r;
+  }
+};
+
+/// Coalescer wired straight to the HMC device, completion-paced.
+struct Harness {
+  Harness(bool pool, bool weave, Cycle bound, std::uint64_t total)
+      : total_(total) {
+    hmcc::coalescer::CoalescerConfig cfg;
+    cfg.enable_pool = pool;
+    hmc = std::make_unique<hmcc::hmc::HmcDevice>(kernel, hmcc::hmc::HmcConfig{});
+    if (weave) hmc->enable_vault_parallel(bound);
+    coalescer = std::make_unique<hmcc::coalescer::MemoryCoalescer>(
+        kernel, cfg,
+        [this](const hmcc::coalescer::CoalescedPacket& pkt) {
+          hmcc::hmc::RequestPacket hp{};
+          hp.id = pkt.id;
+          hp.addr = pkt.addr;
+          hp.cmd = *hmcc::hmc::command_for(pkt.type, pkt.bytes);
+          hmc->submit(hp, [this](const hmcc::hmc::ResponsePacket& resp) {
+            coalescer->on_memory_response(resp.id);
+          });
+        },
+        [this](Addr, std::uint64_t) {
+          ++completed_;
+          if (submitted_ < total_) {
+            coalescer->submit(gen_.next(++submitted_));
+          }
+        });
+  }
+
+  double run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kInFlight && submitted_ < total_; ++i) {
+      coalescer->submit(gen_.next(++submitted_));
+    }
+    kernel.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (completed_ != total_) std::fprintf(stderr, "lost requests!\n");
+    return std::chrono::duration<double>(t1 - t0).count();
+  }
+
+  hmcc::Kernel kernel;
+  std::unique_ptr<hmcc::hmc::HmcDevice> hmc;
+  std::unique_ptr<hmcc::coalescer::MemoryCoalescer> coalescer;
+  RequestGen gen_;
+  std::uint64_t total_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+struct ConfigResult {
+  const char* name;
+  double best_s = 1e300;
+  Cycle end_cycle = 0;
+  std::uint64_t memory_requests = 0;
+  std::uint64_t transferred_bytes = 0;
+  std::uint64_t pool_reused = 0;
+  std::uint64_t pool_fresh = 0;
+};
+
+ConfigResult run_config(const char* name, bool pool, bool weave, Cycle bound,
+                        std::uint64_t requests, std::uint64_t reps) {
+  ConfigResult r;
+  r.name = name;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    Harness h(pool, weave, bound, requests);
+    const double s = h.run();
+    if (s < r.best_s) r.best_s = s;
+    r.end_cycle = h.kernel.now();
+    r.memory_requests = h.coalescer->stats().memory_requests;
+    r.transferred_bytes = h.hmc->stats().transferred_bytes;
+    r.pool_reused = h.coalescer->pool().counters().request_vectors_reused;
+    r.pool_fresh = h.coalescer->pool().counters().request_vectors_fresh;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hmcc::Config cli;
+  cli.parse_args(argc, argv);
+  const std::uint64_t requests = cli.get_uint("requests", 200000);
+  const std::uint64_t reps = cli.get_uint("reps", 3);
+  const auto bound = static_cast<Cycle>(cli.get_uint("bound", 256));
+  const std::string json_path = cli.get_string("json", "BENCH_vault_parallel.json");
+
+  std::vector<ConfigResult> results;
+  results.push_back(
+      run_config("serial_no_pool", false, false, bound, requests, reps));
+  results.push_back(
+      run_config("serial_pool", true, false, bound, requests, reps));
+  results.push_back(
+      run_config("weave_pool", true, true, bound, requests, reps));
+
+  // Execution strategy must not change simulated results: every config has
+  // to land on the same final cycle, packet count, and wire traffic.
+  const ConfigResult& base = results[0];
+  bool identical = true;
+  for (const ConfigResult& r : results) {
+    identical = identical && r.end_cycle == base.end_cycle &&
+                r.memory_requests == base.memory_requests &&
+                r.transferred_bytes == base.transferred_bytes;
+  }
+
+  std::printf("=== DMC/vault hot path (%llu requests, best of %llu) ===\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(reps));
+  std::string json = "{\"bench\": \"vault_parallel\", \"requests\": " +
+                     std::to_string(requests) +
+                     ", \"bound\": " + std::to_string(bound) +
+                     ", \"configs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    const double rps = static_cast<double>(requests) / r.best_s;
+    const double speedup = r.best_s > 0 ? base.best_s / r.best_s : 0.0;
+    std::printf("%-16s %10.0f req/s | %.3f s | %.2fx vs baseline\n", r.name,
+                rps, r.best_s, speedup);
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\": \"%s\", \"requests_per_sec\": %.0f, "
+                  "\"seconds\": %.4f, \"speedup_vs_baseline\": %.3f, "
+                  "\"pool_vectors_reused\": %llu, \"pool_vectors_fresh\": %llu}",
+                  i ? ", " : "", r.name, rps, r.best_s, speedup,
+                  static_cast<unsigned long long>(r.pool_reused),
+                  static_cast<unsigned long long>(r.pool_fresh));
+    json += buf;
+  }
+  json += "], \"identical_outputs\": ";
+  json += identical ? "true" : "false";
+  json += "}\n";
+  std::printf("simulated outputs identical across configs: %s\n",
+              identical ? "yes" : "NO — BUG");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("(written to %s)\n", json_path.c_str());
+    }
+  }
+  return identical ? 0 : 1;
+}

@@ -24,7 +24,7 @@ const std::vector<SuiteBench>& suite_benches() {
 
 const SuiteBench* find_bench(const std::string& name) {
   for (const SuiteBench& b : suite_benches()) {
-    if (b.name == name) return &b;
+    if (b.meta.name == name) return &b;
   }
   return nullptr;
 }
@@ -77,14 +77,14 @@ int run_standalone(const SuiteBench& bench, int argc, char** argv) {
       return 2;
     }
   }
-  const BenchEnv env = make_env(cli, bench.name.c_str(),
-                                bench.default_accesses);
+  const BenchEnv env = make_env(cli, bench.meta.name.c_str(),
+                                bench.meta.default_accesses);
   std::vector<SuiteTask> tasks =
       bench.tasks ? bench.tasks(env) : std::vector<SuiteTask>{};
   std::vector<std::any> results = env.runner().map<std::any>(
       tasks.size(), [&](std::size_t i) { return tasks[i](); });
   const Table table = bench.format(env, results);
-  emit(table, env, bench.title.c_str(), bench.paper_note.c_str());
+  emit(table, env, bench.meta.title.c_str(), bench.meta.paper_note.c_str());
   if (bench.epilogue) std::fputs(bench.epilogue(env, results).c_str(), stdout);
   return 0;
 }

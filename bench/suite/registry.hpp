@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/descriptor.hpp"
 
 namespace hmcc::bench {
 
@@ -32,10 +33,11 @@ namespace hmcc::bench {
 using SuiteTask = std::function<std::any()>;
 
 struct SuiteBench {
-  std::string name;        ///< CSV stem and suite filter key, e.g. "fig08"
-  std::string title;       ///< table heading
-  std::string paper_note;  ///< the paper's reference numbers
-  std::uint64_t default_accesses = 15000;  ///< accesses= default
+  /// Descriptive metadata (registry key, table heading, paper reference,
+  /// accesses= default) on the shared descriptor schema: `GET /benches`,
+  /// bench_suite, and the standalone drivers all read this ONE record.
+  /// meta.name doubles as the CSV stem and suite filter key, e.g. "fig08".
+  desc::BenchMeta meta{.default_accesses = 15000};
   /// Build this bench's tasks for @p env. May be empty (pure-arithmetic
   /// figures compute everything in format()).
   std::function<std::vector<SuiteTask>(const BenchEnv&)> tasks;

@@ -9,8 +9,8 @@ namespace hmcc::bench {
 system::JobOutput run_bench_job(const SuiteBench& bench,
                                 const Config& overrides,
                                 const system::JobContext& ctx) {
-  BenchEnv env = make_env(overrides, bench.name.c_str(),
-                          bench.default_accesses);
+  BenchEnv env = make_env(overrides, bench.meta.name.c_str(),
+                          bench.meta.default_accesses);
   // Service jobs never write files; the CSV rows travel in the payload.
   env.csv_path.clear();
 
@@ -34,7 +34,7 @@ system::JobOutput run_bench_job(const SuiteBench& bench,
   ctx.checkpoint();
   const Table table = bench.format(env, results);
   system::JobOutput out;
-  out.text = "=== " + bench.title + " ===\n" + bench.paper_note + "\n" +
+  out.text = "=== " + bench.meta.title + " ===\n" + bench.meta.paper_note + "\n" +
              table.to_ascii();
   if (bench.epilogue) out.text += bench.epilogue(env, results);
   out.csv = table.to_csv();
@@ -47,13 +47,13 @@ std::vector<service::ServiceBench> service_benches() {
   out.reserve(benches.size());
   for (const SuiteBench& b : benches) {
     service::ServiceBench sb;
-    sb.name = b.name;
+    sb.name = b.meta.name;
     sb.metadata = service::json::Object{
-        {"name", b.name},
-        {"title", b.title},
-        {"paper_note", b.paper_note},
+        {"name", b.meta.name},
+        {"title", b.meta.title},
+        {"paper_note", b.meta.paper_note},
         {"default_accesses",
-         static_cast<std::int64_t>(b.default_accesses)},
+         static_cast<std::int64_t>(b.meta.default_accesses)},
     };
     sb.run = [&b](const Config& overrides, const system::JobContext& ctx) {
       return run_bench_job(b, overrides, ctx);

@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   }
   if (list) {
     for (const SuiteBench& b : suite_benches()) {
-      std::printf("%s\n", b.name.c_str());
+      std::printf("%s\n", b.meta.name.c_str());
     }
     return 0;
   }
@@ -161,14 +161,14 @@ int main(int argc, char** argv) {
   std::size_t total_tasks = 0;
   for (const SuiteBench* b : selected) {
     Scheduled s{b,
-                make_env(cli, b->name.c_str(),
-                         smoke ? kSmokeAccesses : b->default_accesses),
+                make_env(cli, b->meta.name.c_str(),
+                         smoke ? kSmokeAccesses : b->meta.default_accesses),
                 {},
                 {}};
     if (nocsv) {
       s.env.csv_path.clear();
     } else if (!csvdir.empty() && !cli.has("csv")) {
-      s.env.csv_path = csvdir + "/" + b->name + ".csv";
+      s.env.csv_path = csvdir + "/" + b->meta.name + ".csv";
     }
     s.tasks = b->tasks ? b->tasks(s.env) : std::vector<SuiteTask>{};
     total_tasks += s.tasks.size();
@@ -217,15 +217,15 @@ int main(int argc, char** argv) {
       results.reserve(s.futures.size());
       for (std::future<std::any>& f : s.futures) results.push_back(f.get());
       const Table table = s.bench->format(s.env, results);
-      emit(table, s.env, s.bench->title.c_str(),
-           s.bench->paper_note.c_str());
+      emit(table, s.env, s.bench->meta.title.c_str(),
+           s.bench->meta.paper_note.c_str());
       if (s.bench->epilogue) {
         std::fputs(s.bench->epilogue(s.env, results).c_str(), stdout);
       }
       if (!metrics_path.empty()) {
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - suite_start;
-        const obs::Labels labels{{"bench", s.bench->name}};
+        const obs::Labels labels{{"bench", s.bench->meta.name}};
         suite_reg
             .gauge_family("hmcc_suite_bench_seconds",
                           "Suite start to bench collection complete")
@@ -248,7 +248,7 @@ int main(int argc, char** argv) {
         }
       }
       std::fprintf(stderr, "error: bench %s failed: %s\n",
-                   s.bench->name.c_str(), e.what());
+                   s.bench->meta.name.c_str(), e.what());
       ++failures;
     }
   }

@@ -9,11 +9,17 @@
 #     > suite_stdout.txt 2>/dev/null
 #   sha256sum suite_stdout.txt ci_smoke_csv/*.csv
 #
-# Usage: byte_identity_check.sh <path-to-bench_suite>
+# Extra arguments are passed through to bench_suite as knobs. The gate is
+# therefore also the proof that execution-strategy knobs (vault_parallel=,
+# bound=, pool=) change nothing observable:
+#   byte_identity_check.sh bench_suite vault_parallel=on bound=256
+# must hash to the same baseline as the plain run.
+#
+# Usage: byte_identity_check.sh <path-to-bench_suite> [knob=value ...]
 set -euo pipefail
 
-if [[ $# -ne 1 ]]; then
-  echo "usage: $0 <path-to-bench_suite>" >&2
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <path-to-bench_suite> [knob=value ...]" >&2
   exit 2
 fi
 
@@ -26,7 +32,7 @@ cd "$scratch"
 mkdir ci_smoke_csv
 
 # threads=2 exercises the parallel scheduler; output must not depend on it.
-"$bench_suite" --smoke csvdir=ci_smoke_csv threads=2 \
+"$bench_suite" --smoke csvdir=ci_smoke_csv threads=2 "${@:2}" \
   > suite_stdout.txt 2>/dev/null
 
 sha256sum -c "$golden"

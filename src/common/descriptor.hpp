@@ -274,4 +274,47 @@ std::vector<std::string> knob_keys(const std::vector<Knob<Target>>& knobs) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Cross-knob constraints
+// ---------------------------------------------------------------------------
+
+/// A structural invariant spanning several knobs (e.g. "window must not
+/// exceed the CRQ capacity"). Per-knob validation lives in Knob::apply; these
+/// run AFTER every knob has been applied, against the assembled config.
+/// `check` returns the problem phrased WITHOUT the key ("" when satisfied);
+/// the checker prefixes "key: " so every error in the collected list names
+/// the knob(s) it belongs to, matching the per-knob error format.
+template <typename Target>
+struct Constraint {
+  std::string key;  ///< the knob (or component) the error is filed under
+  std::function<std::string(const Target&)> check;
+};
+
+/// Run every constraint against @p t, appending "key: problem" strings to
+/// @p errors. Returns true when all constraints hold.
+template <typename Target>
+bool check_constraints(const std::vector<Constraint<Target>>& constraints,
+                       const Target& t, std::vector<std::string>& errors) {
+  const std::size_t before = errors.size();
+  for (const Constraint<Target>& c : constraints) {
+    std::string problem = c.check(t);
+    if (!problem.empty()) errors.push_back(c.key + ": " + std::move(problem));
+  }
+  return errors.size() == before;
+}
+
+// ---------------------------------------------------------------------------
+// Bench metadata
+// ---------------------------------------------------------------------------
+
+/// Descriptive metadata for one registered benchmark — the same record backs
+/// the standalone `--list` output, `bench_suite`, and the daemon's
+/// GET /benches, so the three can never drift.
+struct BenchMeta {
+  std::string name;        ///< registry key, e.g. "bench_radix"
+  std::string title;       ///< one-line human description
+  std::string paper_note;  ///< which figure/table the bench reproduces
+  std::uint64_t default_accesses = 0;  ///< workload size when accesses= absent
+};
+
 }  // namespace hmcc::desc

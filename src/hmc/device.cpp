@@ -1,6 +1,8 @@
 #include "hmc/device.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <future>
 #include <string>
 #include <utility>
 
@@ -17,6 +19,17 @@ HmcDevice::HmcDevice(Kernel& kernel, HmcConfig cfg)
   for (std::uint32_t i = 0; i < cfg_.num_vaults; ++i) {
     vaults_.emplace_back(cfg_, i);
   }
+  vault_depth_.assign(cfg_.num_vaults, 0);
+}
+
+void HmcDevice::enable_vault_parallel(Cycle bound, unsigned threads) {
+  assert(bound >= 1 && "weave bound must cover at least one cycle");
+  assert(staged_.empty() && "enable before the first submit");
+  weave_enabled_ = true;
+  bound_ = bound;
+  lane_index_.resize(cfg_.num_vaults);
+  active_vaults_.reserve(cfg_.num_vaults);
+  if (!lane_pool_) lane_pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 void HmcDevice::submit(const RequestPacket& pkt,
@@ -27,7 +40,6 @@ void HmcDevice::submit(const RequestPacket& pkt,
 
   const std::uint32_t link_idx = d.vault / cfg_.vaults_per_quadrant();
   Link& link = links_[link_idx];
-  Vault& vault = vaults_[d.vault];
 
   // Wire accounting happens at submission: the whole transaction's FLITs are
   // committed to the link either way.
@@ -40,33 +52,132 @@ void HmcDevice::submit(const RequestPacket& pkt,
   wire_.transferred_bytes += pkt.transferred_bytes();
   wire_.control_bytes += pkt.control_bytes();
   ++outstanding_;
+  ++vault_depth_[d.vault];
 
   const Cycle now = kernel_.now();
   // Request channel serialization, then SerDes + crossbar to the vault.
   const Cycle req_done = link.send_request(pkt.request_flits(), now);
   const Cycle vault_arrival =
       req_done + cfg_.serdes_latency + cfg_.xbar_latency;
-  const VaultServiceResult served =
-      vault.serve(d, pkt.data_bytes(), vault_arrival);
-  // Return path: crossbar + SerDes, then response channel serialization.
-  const Cycle resp_at_link =
-      served.data_ready + cfg_.xbar_latency + cfg_.serdes_latency;
-  const Cycle completed = link.send_response(pkt.response_flits(), resp_at_link);
 
   ResponsePacket resp{};
   resp.id = pkt.id;
   resp.cmd = pkt.cmd;
   resp.addr = pkt.addr;
   resp.submitted_at = now;
-  resp.completed_at = completed;
 
-  kernel_.schedule_at(
-      completed,
-      [this, resp, cb = std::move(on_response)]() mutable {
-        wire_.latency.add(static_cast<double>(resp.latency()));
-        --outstanding_;
-        cb(resp);
-      });
+  if (use_weave()) {
+    if (vault_arrival > now) {
+      LaneJob job;
+      job.d = d;
+      job.bytes = pkt.data_bytes();
+      job.vault_arrival = vault_arrival;
+      job.link_idx = link_idx;
+      job.resp_flits = pkt.response_flits();
+      // Reserved at the exact point the serial path would schedule the
+      // completion event (Vault::serve consumes no sequence numbers), so
+      // the commit lands in the same same-cycle firing slot.
+      job.seq = kernel_.reserve_seq();
+      job.resp = resp;
+      job.cb = std::move(on_response);
+      staged_.push_back(std::move(job));
+      arm_weave(vault_arrival);
+      return;
+    }
+    // Degenerate zero-latency config: the request reaches its vault this
+    // very cycle, so staged work (which precedes it in submit order) must
+    // land first to keep per-vault service order.
+    flush_lanes();
+  }
+
+  const VaultServiceResult served =
+      vaults_[d.vault].serve(d, pkt.data_bytes(), vault_arrival);
+  // Return path: crossbar + SerDes, then response channel serialization.
+  const Cycle resp_at_link =
+      served.data_ready + cfg_.xbar_latency + cfg_.serdes_latency;
+  const Cycle completed = link.send_response(pkt.response_flits(), resp_at_link);
+  resp.completed_at = completed;
+  commit(completed, 0, d.vault, resp, std::move(on_response));
+}
+
+void HmcDevice::arm_weave(Cycle arrival) {
+  // Fire before the earliest staged arrival so lane service never races a
+  // submission, and within bound_ cycles so staging stays bounded.
+  const Cycle deadline = std::min(kernel_.now() + bound_, arrival - 1);
+  if (weave_armed_ && weave_at_ <= deadline) return;
+  weave_armed_ = true;
+  weave_at_ = deadline;
+  const std::uint64_t gen = ++weave_gen_;
+  kernel_.schedule_at(deadline, [this, gen] {
+    if (gen != weave_gen_) return;  // superseded by a reschedule or flush
+    flush_lanes();
+  });
+}
+
+void HmcDevice::flush_lanes() {
+  ++weave_gen_;  // any in-flight weave event is now a stale no-op
+  weave_armed_ = false;
+  if (staged_.empty()) return;
+
+  // Lane phase: group staged jobs per vault, preserving submission order
+  // within each lane. Vault and bank state is strictly vault-local, so the
+  // lanes advance independently; each sees the identical (address, bytes,
+  // arrival) call sequence the serial path would have issued.
+  active_vaults_.clear();
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    std::vector<std::size_t>& lane = lane_index_[staged_[i].d.vault];
+    if (lane.empty()) active_vaults_.push_back(staged_[i].d.vault);
+    lane.push_back(i);
+  }
+  auto serve_lane = [this](std::uint32_t vault_idx) {
+    Vault& v = vaults_[vault_idx];
+    for (const std::size_t i : lane_index_[vault_idx]) {
+      LaneJob& job = staged_[i];
+      job.served = v.serve(job.d, job.bytes, job.vault_arrival);
+    }
+  };
+  if (lane_pool_ && active_vaults_.size() > 1) {
+    std::vector<std::future<void>> done;
+    done.reserve(active_vaults_.size());
+    for (const std::uint32_t v : active_vaults_) {
+      done.push_back(lane_pool_->submit([&serve_lane, v] { serve_lane(v); }));
+    }
+    // Barrier: joins the lane results and (via future::get) synchronizes
+    // the workers' writes with the weave phase below.
+    for (std::future<void>& f : done) f.get();
+  } else {
+    for (const std::uint32_t v : active_vaults_) serve_lane(v);
+  }
+  for (const std::uint32_t v : active_vaults_) lane_index_[v].clear();
+
+  // Weave phase: serial commit in submission order. The response channel of
+  // each link advances through the same call sequence as the serial path,
+  // and every completion files under the sequence number reserved at
+  // submit, so same-cycle firing order is preserved exactly.
+  for (LaneJob& job : staged_) {
+    const Cycle resp_at_link =
+        job.served.data_ready + cfg_.xbar_latency + cfg_.serdes_latency;
+    const Cycle completed =
+        links_[job.link_idx].send_response(job.resp_flits, resp_at_link);
+    job.resp.completed_at = completed;
+    commit(completed, job.seq, job.d.vault, job.resp, std::move(job.cb));
+  }
+  staged_.clear();
+}
+
+void HmcDevice::commit(Cycle completed, std::uint64_t seq, std::uint32_t vault,
+                       ResponsePacket resp, ResponseCallback cb) {
+  auto fn = [this, vault, resp, cb = std::move(cb)]() mutable {
+    wire_.latency.add(static_cast<double>(resp.latency()));
+    --outstanding_;
+    --vault_depth_[vault];
+    cb(resp);
+  };
+  if (seq == 0) {
+    kernel_.schedule_at(completed, std::move(fn));
+  } else {
+    kernel_.schedule_at_reserved(completed, seq, std::move(fn));
+  }
 }
 
 HmcStats HmcDevice::stats() const {
@@ -80,12 +191,14 @@ HmcStats HmcDevice::stats() const {
 }
 
 void HmcDevice::reset_stats() {
+  flush_lanes();
   wire_ = HmcStats{};
   for (Vault& v : vaults_) v.reset();
   for (Link& l : links_) l.reset();
 }
 
 void HmcDevice::set_trace(obs::TraceWriter* trace) noexcept {
+  trace_ = trace;
   for (Vault& v : vaults_) v.set_trace(trace);
 }
 
@@ -127,7 +240,15 @@ desc::StatSet HmcDevice::stat_descriptors() const {
                  "Row activations per vault",
                  [&v] { return v.row_activations(); }, labels)
         .counter("hmcc_hmc_vault_row_hits_total", "Row hits per vault",
-                 [&v] { return v.row_hits(); }, labels);
+                 [&v] { return v.row_hits(); }, labels)
+        .sampled_gauge(
+            "hmcc_hmc_vault_queue_depth",
+            "In-flight transactions per vault at sample time",
+            {0, 1, 2, 4, 8, 16, 32, 64, 128},
+            [this, i = v.index()] {
+              return static_cast<double>(vault_depth_[i]);
+            },
+            labels);
   }
   return set;
 }

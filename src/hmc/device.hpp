@@ -5,6 +5,15 @@
 // device routes packets link -> crossbar -> vault -> bank and back, with FCFS
 // ordering per channel/vault, and aggregates the bandwidth statistics the
 // paper's Figures 1, 9 and 11 are built from.
+//
+// Execution modes: by default every transaction is served synchronously at
+// submit() time (the vault/bank timing math runs inline and only the
+// completion callback is deferred through the kernel).  With
+// enable_vault_parallel() the device switches to bound-weave execution:
+// submissions are staged into per-vault lanes, a thread pool advances the
+// vault/bank state machines for all lanes concurrently, and a serial weave
+// phase commits completions in the exact (cycle, seq) order the serial
+// schedule would have produced — see DESIGN.md §11 for the invariants.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 
 #include "common/descriptor.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "hmc/address_map.hpp"
 #include "hmc/config.hpp"
@@ -60,6 +70,22 @@ class HmcDevice {
   /// @p on_response fires exactly once at completion time.
   void submit(const RequestPacket& pkt, ResponseCallback on_response);
 
+  /// Switch to bound-weave vault-parallel execution (call before the first
+  /// submit). Submissions whose vault arrival lies in the future are staged
+  /// into per-vault lanes; no later than @p bound cycles ahead (or one cycle
+  /// before the earliest staged arrival, whichever is sooner) a weave event
+  /// serves all lanes — @p threads pool workers, 0 = hardware concurrency —
+  /// and commits completions under kernel sequence numbers reserved at
+  /// submission, so every observable result is byte-identical to the serial
+  /// mode. While a trace writer is attached the device falls back to the
+  /// serial path (trace spans must be emitted in global submit order).
+  void enable_vault_parallel(Cycle bound, unsigned threads = 0);
+
+  /// Serve and commit every staged lane job immediately. The System calls
+  /// this before mid-run sampling so sampled gauges observe committed state;
+  /// a no-op in serial mode or when nothing is staged.
+  void flush_lanes();
+
   [[nodiscard]] const HmcConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const AddressMap& address_map() const noexcept { return map_; }
 
@@ -70,21 +96,60 @@ class HmcDevice {
     return outstanding_;
   }
 
+  /// Transactions submitted to @p vault whose response has not completed
+  /// yet. Tracked at the device layer (submit / completion event), so the
+  /// value at any sampling point is identical in both execution modes.
+  [[nodiscard]] std::uint64_t vault_queue_depth(
+      std::uint32_t vault) const noexcept {
+    return vault_depth_[vault];
+  }
+
   void reset_stats();
 
   /// Attach a chrome-trace writer (nullptr detaches); forwarded to every
   /// vault, which emit per-bank row-buffer spans (row_open / row_hit /
-  /// row_conflict) while attached.
+  /// row_conflict) while attached. Attaching disables lane staging (the
+  /// device reverts to the serial path until detached).
   void set_trace(obs::TraceWriter* trace) noexcept;
 
   /// The device's metric schema: wire counters (`hmcc_hmc_*`: reads/writes,
   /// payload vs transferred bytes, bank conflicts, row activations/hits,
   /// bandwidth efficiency, mean latency) plus per-vault labeled families
-  /// (`hmcc_hmc_vault_*{vault="N"}`). Sample functions read live state: the
-  /// device must outlive the returned set.
+  /// (`hmcc_hmc_vault_*{vault="N"}`), including the sampled queue-depth
+  /// gauge. Sample functions read live state: the device must outlive the
+  /// returned set.
   [[nodiscard]] desc::StatSet stat_descriptors() const;
 
  private:
+  /// One staged transaction: everything the lane worker needs to run
+  /// Vault::serve plus everything the weave phase needs to commit the
+  /// completion exactly as the serial path would have.
+  struct LaneJob {
+    DecodedAddr d{};
+    std::uint32_t bytes = 0;
+    Cycle vault_arrival = 0;
+    std::uint32_t link_idx = 0;
+    std::uint32_t resp_flits = 0;
+    std::uint64_t seq = 0;            ///< reserved at submit time
+    VaultServiceResult served{};      ///< filled by the lane worker
+    ResponsePacket resp{};            ///< completed_at filled at commit
+    ResponseCallback cb;
+  };
+
+  [[nodiscard]] bool use_weave() const noexcept {
+    return weave_enabled_ && trace_ == nullptr;
+  }
+
+  /// (Re)schedule the weave event so it fires before @p arrival (the vault
+  /// timestamp of the job just staged) and within bound_ cycles of now.
+  void arm_weave(Cycle arrival);
+
+  /// Schedule the completion event for a served transaction. @p seq = 0
+  /// takes the plain schedule_at path (serial mode); a nonzero seq files
+  /// the event under that reserved sequence number.
+  void commit(Cycle completed, std::uint64_t seq, std::uint32_t vault,
+              ResponsePacket resp, ResponseCallback cb);
+
   Kernel& kernel_;
   HmcConfig cfg_;
   AddressMap map_;
@@ -92,7 +157,22 @@ class HmcDevice {
   std::vector<Vault> vaults_;
   HmcStats wire_;
   std::uint64_t outstanding_ = 0;
+  std::vector<std::uint64_t> vault_depth_;
   std::uint8_t next_tag_ = 0;
+  obs::TraceWriter* trace_ = nullptr;
+
+  // --- bound-weave state (inert in serial mode) ---
+  bool weave_enabled_ = false;
+  Cycle bound_ = 0;
+  std::unique_ptr<ThreadPool> lane_pool_;
+  std::vector<LaneJob> staged_;  ///< submission order == reserved-seq order
+  /// Scratch: staged_ indices per vault (capacity reused across flushes).
+  std::vector<std::vector<std::size_t>> lane_index_;
+  std::vector<std::uint32_t> active_vaults_;
+  bool weave_armed_ = false;
+  Cycle weave_at_ = 0;
+  /// Invalidates stale weave events after a reschedule or external flush.
+  std::uint64_t weave_gen_ = 0;
 };
 
 }  // namespace hmcc::hmc

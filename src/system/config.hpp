@@ -64,6 +64,26 @@ struct ObsConfig {
   Cycle sample_interval = 0;
 };
 
+/// Execution-engine knobs (how the simulation runs, never what it computes).
+/// Defaults are the plain serial kernel; turning these on must not change a
+/// single output byte — `scripts/byte_identity_check.sh` enforces that.
+struct ExecConfig {
+  /// `bound = 0` means "pick for me": the weave deadline tracks the staged
+  /// arrival anyway, so the bound only caps how far lanes run ahead of the
+  /// commit cycle. 256 keeps lanes inside one worst-case DRAM row cycle.
+  static constexpr Cycle kAutoBound = 256;
+  /// Bound-weave vault-parallel mode: stage vault service into per-vault
+  /// lanes, advance them on a thread pool, weave results back in
+  /// deterministic (cycle, seq) order.
+  bool vault_parallel = false;
+  /// Maximum cycles a lane may run ahead of the commit point (0 = auto).
+  Cycle bound = 0;
+
+  [[nodiscard]] Cycle resolved_bound() const noexcept {
+    return bound == 0 ? kAutoBound : bound;
+  }
+};
+
 struct SystemConfig {
   cache::HierarchyConfig hierarchy{};  // 12 cores, 16 LLC MSHRs
   hmc::HmcConfig hmc{};                // 8 GB, 256 B blocks
@@ -71,6 +91,7 @@ struct SystemConfig {
   CoreConfig core{};
   CoalescerMode mode = CoalescerMode::kFull;
   ObsConfig obs{};
+  ExecConfig exec{};
 };
 
 /// Upper bound on the delay of any ROUTINE event the simulator schedules

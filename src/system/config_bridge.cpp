@@ -216,6 +216,21 @@ std::vector<Knob<SystemConfig>> build_platform_knobs() {
       },
       {"full"}));
 
+  // Execution engine (defaults off: plain serial kernel, per-run heap
+  // buffers). Neither knob may change a single output byte — CI runs the
+  // byte-identity check in both modes.
+  t.push_back(b("vault_parallel",
+                "bound-weave vault-parallel execution (deterministic)",
+                [](const SystemConfig& c) { return c.exec.vault_parallel; },
+                [](SystemConfig& c, bool v) { c.exec.vault_parallel = v; }));
+  t.push_back(
+      u("bound", "vault-parallel lane bound in cycles (0 = auto)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.exec.bound; },
+        [](SystemConfig& c, std::uint64_t v) { c.exec.bound = v; }));
+  t.push_back(b("pool", "arena packet pools in the coalescer hot path",
+                [](const SystemConfig& c) { return c.coalescer.enable_pool; },
+                [](SystemConfig& c, bool v) { c.coalescer.enable_pool = v; }));
+
   // Observability (defaults off: no registry, no trace, byte-identical
   // output to an uninstrumented run).
   t.push_back(b("metrics", "build per-System metrics registry",
@@ -242,10 +257,67 @@ std::vector<Knob<SystemConfig>> build_platform_knobs() {
   return t;
 }
 
+// Cross-knob structural invariants, checked after every knob has been
+// applied (and after apply_mode() re-derives the flag set). Each entry files
+// its error under the knob/component it belongs to; the per-entry strings
+// are pinned by descriptor_test.
+std::vector<desc::Constraint<SystemConfig>> build_platform_constraints() {
+  using C = desc::Constraint<SystemConfig>;
+  std::vector<C> t;
+  t.push_back(C{"hmc", [](const SystemConfig& c) {
+                  return c.hmc.valid()
+                             ? std::string()
+                             : "invalid geometry (capacity/vaults/banks/"
+                               "block_bytes must be powers of two and "
+                               "consistent)";
+                }});
+  t.push_back(C{"l1", [](const SystemConfig& c) {
+                  return c.hierarchy.l1.valid()
+                             ? std::string()
+                             : "invalid geometry (size/ways/line_bytes)";
+                }});
+  t.push_back(C{"l2", [](const SystemConfig& c) {
+                  return c.hierarchy.l2.valid()
+                             ? std::string()
+                             : "invalid geometry (size/ways/line_bytes)";
+                }});
+  t.push_back(C{"llc", [](const SystemConfig& c) {
+                  return c.hierarchy.llc.valid()
+                             ? std::string()
+                             : "invalid geometry (size/ways/line_bytes)";
+                }});
+  t.push_back(C{"window", [](const SystemConfig& c) {
+                  return is_pow2(c.coalescer.window)
+                             ? std::string()
+                             : "must be a power of two";
+                }});
+  // The CRQ is sized to the MSHR file; a window wider than the CRQ could
+  // never drain one batch, so reject the combination up front.
+  t.push_back(C{"window", [](const SystemConfig& c) {
+                  return c.coalescer.window <= c.coalescer.num_mshrs
+                             ? std::string()
+                             : "must not exceed the CRQ capacity "
+                               "(llc_mshrs = " +
+                                   std::to_string(c.coalescer.num_mshrs) + ")";
+                }});
+  t.push_back(C{"bound", [](const SystemConfig& c) {
+                  return c.exec.bound == 0 || c.exec.vault_parallel
+                             ? std::string()
+                             : "requires vault_parallel=on";
+                }});
+  return t;
+}
+
 }  // namespace
 
 const std::vector<desc::Knob<SystemConfig>>& platform_knobs() {
   static const std::vector<Knob<SystemConfig>> table = build_platform_knobs();
+  return table;
+}
+
+const std::vector<desc::Constraint<SystemConfig>>& platform_constraints() {
+  static const std::vector<desc::Constraint<SystemConfig>> table =
+      build_platform_constraints();
   return table;
 }
 
@@ -270,23 +342,7 @@ bool overlay_config(const Config& cli, SystemConfig& cfg,
 
   apply_mode(cfg, cfg.mode);
 
-  if (!cfg.hmc.valid()) {
-    errors.push_back(
-        "hmc: invalid geometry (capacity/vaults/banks/block_bytes must be "
-        "powers of two and consistent)");
-  }
-  if (!cfg.hierarchy.l1.valid()) {
-    errors.push_back("l1: invalid geometry (size/ways/line_bytes)");
-  }
-  if (!cfg.hierarchy.l2.valid()) {
-    errors.push_back("l2: invalid geometry (size/ways/line_bytes)");
-  }
-  if (!cfg.hierarchy.llc.valid()) {
-    errors.push_back("llc: invalid geometry (size/ways/line_bytes)");
-  }
-  if (!is_pow2(cfg.coalescer.window)) {
-    errors.push_back("window: must be a power of two");
-  }
+  desc::check_constraints(platform_constraints(), cfg, errors);
   return errors.size() == before;
 }
 

@@ -8,12 +8,15 @@
 //   hmc_gb, vaults, banks, links, block_bytes, closed_page
 //   t_rcd, t_cl, t_rp, t_ras, serdes, xbar, cycles_per_flit
 //   mode (none|conventional|dmc-only|coalescer)
+//   vault_parallel, bound, pool
 //   metrics, trace_json, trace_events, sample_interval
 //
 // The knobs are DECLARED once, in the platform_knobs() table
 // (desc::Knob<SystemConfig>): overlay_config() parses from the table, the
 // bench-service daemon serves platform_knob_metadata() from the same table,
 // and the round-trip tests walk it. Adding a knob is one table entry.
+// Invariants spanning several knobs live in the platform_constraints()
+// table (desc::Constraint<SystemConfig>), checked after the overlay.
 #pragma once
 
 #include "common/config.hpp"
@@ -29,6 +32,12 @@ namespace hmcc::system {
 
 /// Metadata column of platform_knobs() (what GET /benches serves).
 [[nodiscard]] const std::vector<desc::KnobMeta>& platform_knob_metadata();
+
+/// Cross-knob structural invariants (geometry validity, window vs CRQ
+/// capacity, bound vs vault_parallel), applied by overlay_config() after
+/// the knob pass. Each failing entry contributes one "key: problem" error.
+[[nodiscard]] const std::vector<desc::Constraint<SystemConfig>>&
+platform_constraints();
 
 /// Overlay @p cli onto @p cfg (missing keys keep cfg's values), then
 /// re-apply the mode so derived flags stay consistent. Appends one

@@ -14,6 +14,9 @@ System::System(SystemConfig cfg)
       hierarchy_(cfg_.hierarchy),
       hmc_(kernel_, cfg_.hmc) {
   apply_mode(cfg_, cfg_.mode);  // keep flags consistent with the mode
+  if (cfg_.exec.vault_parallel) {
+    hmc_.enable_vault_parallel(cfg_.exec.resolved_bound());
+  }
   coalescer_ = std::make_unique<coalescer::MemoryCoalescer>(
       kernel_, cfg_.coalescer,
       [this](const coalescer::CoalescedPacket& pkt) { on_issue(pkt); },
@@ -269,6 +272,9 @@ void System::arm_sampler() {
   // forever. Sampling never mutates simulator state, so a run's results are
   // byte-identical with the sampler on or off.
   kernel_.schedule(cfg_.obs.sample_interval, [this] {
+    // Weave lanes may hold vault results not yet committed; flush so the
+    // gauges observe the same state the serial kernel would show here.
+    hmc_.flush_lanes();
     sample_set_->sample(*metrics_);
     if (!sim_drained()) arm_sampler();
   });

@@ -24,8 +24,8 @@ constexpr const char* kSmokeAccesses = "accesses=400";
 TEST(SuiteRegistry, NamesAreUniqueAndLookupWorks) {
   std::set<std::string> names;
   for (const SuiteBench& b : suite_benches()) {
-    EXPECT_TRUE(names.insert(b.name).second) << "duplicate bench " << b.name;
-    EXPECT_EQ(find_bench(b.name), &b);
+    EXPECT_TRUE(names.insert(b.meta.name).second) << "duplicate bench " << b.meta.name;
+    EXPECT_EQ(find_bench(b.meta.name), &b);
   }
   EXPECT_GE(names.size(), 12u);
   EXPECT_EQ(find_bench("no-such-bench"), nullptr);
@@ -35,15 +35,15 @@ TEST(SuiteRegistry, EveryBenchIsFullyPopulated) {
   Config cli;
   cli.set("accesses", "100");
   for (const SuiteBench& b : suite_benches()) {
-    SCOPED_TRACE(b.name);
-    EXPECT_FALSE(b.title.empty());
-    EXPECT_FALSE(b.paper_note.empty());
-    EXPECT_GT(b.default_accesses, 0u);
+    SCOPED_TRACE(b.meta.name);
+    EXPECT_FALSE(b.meta.title.empty());
+    EXPECT_FALSE(b.meta.paper_note.empty());
+    EXPECT_GT(b.meta.default_accesses, 0u);
     ASSERT_TRUE(static_cast<bool>(b.format));
     ASSERT_TRUE(static_cast<bool>(b.tasks));
     // A non-empty task list is what lets the suite scheduler and the
     // service's cooperative timeout see the bench's work at all.
-    const BenchEnv env = make_env(cli, b.name.c_str(), b.default_accesses);
+    const BenchEnv env = make_env(cli, b.meta.name.c_str(), b.meta.default_accesses);
     EXPECT_FALSE(b.tasks(env).empty());
   }
 }
@@ -73,7 +73,7 @@ TEST(SuiteRegistry, KnobInfoCoversEveryAcceptedKey) {
 
 TEST(SuiteRegistry, StandaloneDriverSmokesEveryBench) {
   for (const SuiteBench& b : suite_benches()) {
-    SCOPED_TRACE(b.name);
+    SCOPED_TRACE(b.meta.name);
     std::vector<std::string> args = {"bench", kSmokeAccesses, "csv=",
                                      "threads=1"};
     std::vector<char*> argv;
@@ -84,8 +84,8 @@ TEST(SuiteRegistry, StandaloneDriverSmokesEveryBench) {
                                   argv.data());
     const std::string out = testing::internal::GetCapturedStdout();
     EXPECT_EQ(rc, 0);
-    EXPECT_NE(out.find("=== " + b.title + " ==="), std::string::npos);
-    EXPECT_NE(out.find(b.paper_note), std::string::npos);
+    EXPECT_NE(out.find("=== " + b.meta.title + " ==="), std::string::npos);
+    EXPECT_NE(out.find(b.meta.paper_note), std::string::npos);
   }
 }
 
@@ -96,7 +96,7 @@ system::JobOutput run_via_service(const SuiteBench& bench,
   system::JobManager mgr(
       {/*sweep_threads=*/1, /*job_workers=*/1, /*max_queued_jobs=*/4,
        /*default_timeout=*/std::chrono::milliseconds{0}});
-  auto id = mgr.submit(bench.name, [&](const system::JobContext& ctx) {
+  auto id = mgr.submit(bench.meta.name, [&](const system::JobContext& ctx) {
     return run_bench_job(bench, overrides, ctx);
   });
   EXPECT_TRUE(id.has_value());
@@ -149,16 +149,16 @@ TEST(SuiteRegistry, ServiceBenchesMirrorTheRegistry) {
   const auto& benches = suite_benches();
   ASSERT_EQ(wrapped.size(), benches.size());
   for (std::size_t i = 0; i < wrapped.size(); ++i) {
-    SCOPED_TRACE(benches[i].name);
-    EXPECT_EQ(wrapped[i].name, benches[i].name);
+    SCOPED_TRACE(benches[i].meta.name);
+    EXPECT_EQ(wrapped[i].name, benches[i].meta.name);
     ASSERT_TRUE(wrapped[i].metadata.is_object());
     const auto* name = wrapped[i].metadata.find("name");
     ASSERT_NE(name, nullptr);
-    EXPECT_EQ(name->as_string(), benches[i].name);
+    EXPECT_EQ(name->as_string(), benches[i].meta.name);
     const auto* accesses = wrapped[i].metadata.find("default_accesses");
     ASSERT_NE(accesses, nullptr);
     EXPECT_EQ(accesses->as_int(),
-              static_cast<std::int64_t>(benches[i].default_accesses));
+              static_cast<std::int64_t>(benches[i].meta.default_accesses));
     EXPECT_TRUE(static_cast<bool>(wrapped[i].run));
   }
   const auto knobs = knob_metadata_json();

@@ -174,11 +174,12 @@ TEST(PlatformKnobs, ModeAcceptsLegacyFullAlias) {
 TEST(PlatformKnobs, OverlayAppliesNonDefaultsAndReadsThemBack) {
   // bypass is excluded: apply_mode() re-derives the flag set from mode, so
   // bypass= only sticks until the next mode application (historical
-  // behavior, kept).
+  // behavior, kept). llc_mshrs rides along with window: the CRQ-capacity
+  // constraint rejects a window wider than the MSHR file.
   const std::vector<std::pair<std::string, std::string>> want = {
       {"cores", "8"},        {"l1_kb", "64"},       {"window", "32"},
-      {"mode", "dmc-only"},  {"pipeline", "step"},  {"closed_page", "0"},
-      {"vaults", "16"},      {"sample_interval", "2500"},
+      {"llc_mshrs", "32"},   {"mode", "dmc-only"},  {"pipeline", "step"},
+      {"closed_page", "0"},  {"vaults", "16"},      {"sample_interval", "2500"},
   };
   Config cli;
   for (const auto& [k, v] : want) cli.set(k, v);

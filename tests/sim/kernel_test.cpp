@@ -292,5 +292,58 @@ TEST(Kernel, DifferentialUnderRunUntilStepping) {
   }
 }
 
+TEST(Kernel, ReservedSeqPinsSameCycleOrder) {
+  // A sequence number reserved between two plain schedules must fire between
+  // them at the same cycle, no matter how late the callback is attached —
+  // this is the commit-order guarantee the bound-weave device builds on.
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(10, [&] { order.push_back(1); });
+  const std::uint64_t seq = k.reserve_seq();
+  k.schedule_at(10, [&] { order.push_back(3); });
+  k.schedule_at(5, [&k, &order, seq] {
+    // Attach the reserved event mid-run, after its same-cycle neighbours.
+    k.schedule_at_reserved(10, seq, [&order] { order.push_back(2); });
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.events_fired(), 4u);
+}
+
+TEST(Kernel, ReservedSeqWorksThroughOverflowHeap) {
+  // Reserved events landing past the ring span take the overflow heap and
+  // must still interleave with ring events by (cycle, seq).
+  Kernel k;
+  std::vector<int> order;
+  const Cycle far = 2 * Kernel::kRingSize;
+  k.schedule_at(far, [&] { order.push_back(1); });
+  const std::uint64_t seq = k.reserve_seq();
+  k.schedule_at(far, [&] { order.push_back(3); });
+  k.schedule_at(1, [&k, &order, seq, far] {
+    k.schedule_at_reserved(far, seq, [&order] { order.push_back(2); });
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), far);
+}
+
+TEST(Kernel, ReservedSeqSplicesBeforeLaterRingEvents) {
+  // A reserved (small) seq attached to a ring bucket AFTER larger-seq events
+  // already sit there must splice in front of them, with an unrelated
+  // overflow event still firing at its own later cycle.
+  Kernel k;
+  std::vector<int> order;
+  const Cycle target = Kernel::kRingSize / 2;
+  const std::uint64_t seq = k.reserve_seq();
+  k.schedule_at(target + 2 * Kernel::kRingSize,
+                [&] { order.push_back(9); });  // heap path, fires last
+  k.schedule_at(1, [&k, &order, seq, target] {
+    k.schedule_at(target, [&order] { order.push_back(2); });
+    k.schedule_at_reserved(target, seq, [&order] { order.push_back(1); });
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 9}));
+}
+
 }  // namespace
 }  // namespace hmcc

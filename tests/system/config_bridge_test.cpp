@@ -79,6 +79,55 @@ TEST(ConfigBridge, RejectsInvalidStructures) {
   }
 }
 
+TEST(ConfigBridge, ConstraintsNameTheOffendingKnob) {
+  // Cross-knob invariants come from the declarative platform_constraints()
+  // table; each violation files a "key: problem" error under its knob.
+  {
+    Config cli;
+    cli.set("window", "64");  // wider than the default 16-entry MSHR file
+    SystemConfig cfg = paper_system_config();
+    std::vector<std::string> errors;
+    EXPECT_FALSE(overlay_config(cli, cfg, errors));
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].rfind("window: ", 0), 0u) << errors[0];
+    EXPECT_NE(errors[0].find("CRQ capacity"), std::string::npos) << errors[0];
+  }
+  {
+    Config cli;
+    cli.set("window", "64");  // legal once the MSHR file is widened too
+    cli.set("llc_mshrs", "64");
+    SystemConfig cfg = paper_system_config();
+    EXPECT_TRUE(overlay_config(cli, cfg));
+    EXPECT_EQ(cfg.coalescer.window, 64u);
+  }
+  {
+    Config cli;
+    cli.set("bound", "128");  // lane bound without the mode it bounds
+    SystemConfig cfg = paper_system_config();
+    std::vector<std::string> errors;
+    EXPECT_FALSE(overlay_config(cli, cfg, errors));
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0], "bound: requires vault_parallel=on");
+  }
+  {
+    Config cli;
+    cli.set("vault_parallel", "1");
+    cli.set("bound", "128");
+    SystemConfig cfg = paper_system_config();
+    EXPECT_TRUE(overlay_config(cli, cfg));
+    EXPECT_TRUE(cfg.exec.vault_parallel);
+    EXPECT_EQ(cfg.exec.resolved_bound(), 128u);
+  }
+  {
+    // bound=0 is "auto", legal in either mode.
+    Config cli;
+    cli.set("bound", "0");
+    SystemConfig cfg = paper_system_config();
+    EXPECT_TRUE(overlay_config(cli, cfg));
+    EXPECT_EQ(cfg.exec.resolved_bound(), ExecConfig::kAutoBound);
+  }
+}
+
 TEST(ConfigBridge, OverlaidSystemRuns) {
   Config cli;
   cli.set("cores", "2");

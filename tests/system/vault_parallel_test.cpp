@@ -1,0 +1,173 @@
+// Bound-weave vault-parallel mode must be execution-strategy only: for any
+// trace and any knob combination, a vault-parallel run's RunResult — report
+// scalars AND the full Prometheus metrics text, sampled histograms included —
+// must be byte-identical to the serial kernel's. These tests sweep the knobs
+// most likely to perturb event interleaving (window, timeout, bypass,
+// sample_interval, pool) and diff everything.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "system/runner.hpp"
+
+namespace hmcc::system {
+namespace {
+
+trace::MultiTrace random_trace(std::uint64_t seed, std::uint32_t cores,
+                               std::uint64_t records) {
+  Xoshiro256 rng(seed);
+  trace::MultiTrace mt;
+  mt.per_core.resize(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    for (std::uint64_t i = 0; i < records; ++i) {
+      const double roll = rng.uniform();
+      if (roll < 0.015) {
+        mt.per_core[c].push_back(trace::TraceRecord::make_fence());
+        continue;
+      }
+      Addr addr;
+      if (roll < 0.4) {
+        addr = (1ULL << 30) + (i * cores + c) * 64;  // cyclic-sequential
+      } else if (roll < 0.7) {
+        addr = (1ULL << 31) + rng.below(1 << 18) * 8;  // shared random
+      } else {
+        addr = (1ULL << 32) + rng.below(1 << 14) * 4096 + rng.below(64);
+      }
+      const auto size = static_cast<std::uint32_t>(1u << rng.below(4));
+      if (rng.chance(0.3)) {
+        mt.per_core[c].push_back(trace::TraceRecord::store(addr, size));
+      } else {
+        mt.per_core[c].push_back(trace::TraceRecord::load(addr, size));
+      }
+      if (i % 97 == 96) {
+        mt.per_core[c].push_back(trace::TraceRecord::make_barrier());
+      }
+    }
+  }
+  return mt;
+}
+
+struct Observed {
+  SystemReport report;
+  std::string metrics;
+};
+
+Observed observe(SystemConfig cfg, const trace::MultiTrace& mt) {
+  System sys(std::move(cfg));
+  Observed o;
+  o.report = sys.run(mt);
+  if (const obs::MetricsRegistry* reg = sys.metrics()) {
+    o.metrics = reg->render_prometheus();
+  }
+  return o;
+}
+
+void expect_identical(const Observed& serial, const Observed& weave,
+                      const std::string& what) {
+  EXPECT_TRUE(weave.report.drained) << what;
+  EXPECT_EQ(weave.report.runtime, serial.report.runtime) << what;
+  EXPECT_EQ(weave.report.cpu_accesses, serial.report.cpu_accesses) << what;
+  EXPECT_EQ(weave.report.llc_misses, serial.report.llc_misses) << what;
+  EXPECT_EQ(weave.report.writebacks, serial.report.writebacks) << what;
+  EXPECT_EQ(weave.report.memory_requests, serial.report.memory_requests)
+      << what;
+  EXPECT_EQ(weave.report.hmc.transferred_bytes,
+            serial.report.hmc.transferred_bytes)
+      << what;
+  EXPECT_EQ(weave.report.hmc.row_hits, serial.report.hmc.row_hits) << what;
+  EXPECT_EQ(weave.report.hmc.bank_conflicts, serial.report.hmc.bank_conflicts)
+      << what;
+  // The metrics text covers every counter, gauge, histogram and sampled
+  // distribution the run produced — one string compare diffs them all.
+  EXPECT_EQ(weave.metrics, serial.metrics) << what;
+}
+
+SystemConfig base_cfg(std::uint32_t cores) {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = cores;
+  cfg.obs.metrics = true;
+  cfg.obs.sample_interval = 500;
+  apply_mode(cfg, CoalescerMode::kFull);
+  return cfg;
+}
+
+TEST(VaultParallel, ByteIdenticalAcrossKnobSweep) {
+  struct Variant {
+    const char* what;
+    std::uint32_t window;
+    Cycle timeout;
+    bool bypass;
+    Cycle sample_interval;
+    bool pool;
+  };
+  const std::vector<Variant> variants = {
+      {"defaults", 16, 16, true, 500, false},
+      {"window=4", 4, 16, true, 500, false},
+      {"timeout=2", 16, 2, true, 500, false},
+      {"no-bypass", 16, 16, false, 500, false},
+      {"sampler-off", 16, 16, true, 0, false},
+      {"dense-sampler", 16, 16, true, 97, false},
+      {"pool+weave", 16, 16, true, 500, true},
+  };
+  const auto mt = random_trace(77, 4, 900);
+  for (const Variant& v : variants) {
+    SystemConfig cfg = base_cfg(4);
+    cfg.coalescer.window = v.window;
+    cfg.coalescer.timeout = v.timeout;
+    cfg.coalescer.enable_bypass = v.bypass;
+    cfg.coalescer.enable_pool = v.pool;
+    cfg.obs.sample_interval = v.sample_interval;
+
+    const Observed serial = observe(cfg, mt);
+    ASSERT_TRUE(serial.report.drained) << v.what;
+
+    SystemConfig wcfg = cfg;
+    wcfg.exec.vault_parallel = true;
+    const Observed weave = observe(wcfg, mt);
+    expect_identical(serial, weave, v.what);
+  }
+}
+
+TEST(VaultParallel, ByteIdenticalAcrossBoundsAndSeeds) {
+  for (std::uint64_t seed : {5ULL, 31ULL}) {
+    const auto mt = random_trace(seed, 3, 700);
+    const Observed serial = observe(base_cfg(3), mt);
+    ASSERT_TRUE(serial.report.drained) << seed;
+    // bound=1 degenerates to near-serial commits; large bounds batch many
+    // transactions per weave. All must match exactly.
+    for (const Cycle bound : {Cycle{1}, Cycle{16}, Cycle{256}, Cycle{4096}}) {
+      SystemConfig cfg = base_cfg(3);
+      cfg.exec.vault_parallel = true;
+      cfg.exec.bound = bound;
+      const Observed weave = observe(cfg, mt);
+      expect_identical(serial, weave,
+                       "seed " + std::to_string(seed) + " bound " +
+                           std::to_string(bound));
+    }
+  }
+}
+
+TEST(VaultParallel, WorkloadRunsMatchThroughRunner) {
+  // End-to-end through run_workload: the paths the benches and the byte
+  // identity script exercise.
+  workloads::WorkloadParams params;
+  params.num_cores = 4;
+  params.accesses_per_core = 1500;
+  for (const char* workload : {"ft", "cg"}) {
+    SystemConfig cfg = base_cfg(4);
+    const RunResult serial = run_workload(workload, cfg, params);
+    SystemConfig wcfg = base_cfg(4);
+    wcfg.exec.vault_parallel = true;
+    wcfg.coalescer.enable_pool = true;
+    const RunResult weave = run_workload(workload, wcfg, params);
+    ASSERT_TRUE(serial.report.drained) << workload;
+    ASSERT_TRUE(weave.report.drained) << workload;
+    EXPECT_EQ(weave.report.runtime, serial.report.runtime) << workload;
+    EXPECT_EQ(weave.metrics_text, serial.metrics_text) << workload;
+  }
+}
+
+}  // namespace
+}  // namespace hmcc::system
