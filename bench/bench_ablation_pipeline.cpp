@@ -5,8 +5,6 @@
 // into 4 stages cuts that to 64 buffers and far fewer comparators at the
 // cost of a 2-tau-per-window initiation penalty. This bench prints both
 // cost sheets and measures the end-to-end impact on three workloads.
-#include <cstdio>
-
 #include "suite/benches.hpp"
 
 #include "coalescer/pipeline.hpp"
@@ -37,9 +35,11 @@ SuiteBench make_ablation_pipeline() {
     }
     return run_point_tasks(std::move(points));
   };
-  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
-    // The hardware cost sheet precedes the measured impact table on stdout,
-    // exactly as the standalone binary printed it.
+  // The hardware cost sheet precedes the measured impact table on stdout,
+  // exactly as the standalone binary printed it — but as a preamble, not a
+  // printf inside format(): the daemon captures it into the job payload, so
+  // remote (fleet) output keeps the sheet too.
+  b.preamble = [](const BenchEnv&, std::vector<std::any>&) {
     Table costs({"design", "stages", "buffers", "comparators",
                  "initiation (cycles)", "latency (cycles)"});
     for (auto shape : {coalescer::PipelineShape::kPerStage,
@@ -55,9 +55,10 @@ SuiteBench make_ablation_pipeline() {
            Table::fmt(std::uint64_t{c.initiation_interval}),
            Table::fmt(std::uint64_t{c.latency})});
     }
-    std::printf("=== Ablation: Pipeline Organization (paper SS4.1) ===\n%s\n",
-                costs.to_ascii().c_str());
-
+    return "=== Ablation: Pipeline Organization (paper SS4.1) ===\n" +
+           costs.to_ascii() + "\n";
+  };
+  b.format = [](const BenchEnv&, std::vector<std::any>& results) {
     Table impact({"benchmark", "4-stage runtime", "10-stage runtime",
                   "runtime delta", "4-stage req latency (ns)",
                   "10-stage req latency (ns)"});

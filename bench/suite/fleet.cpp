@@ -1,0 +1,410 @@
+#include "suite/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <optional>
+#include <thread>
+
+#include "service/http_client.hpp"
+#include "service/json.hpp"
+
+namespace hmcc::bench {
+namespace {
+
+namespace json = service::json;
+using Clock = std::chrono::steady_clock;
+
+/// Knobs consumed by the suite/fleet drivers themselves; everything else in
+/// the CLI is a bench/platform knob and ships to the workers verbatim.
+bool driver_only_key(const std::string& key) {
+  static const char* kKeys[] = {"only",    "csvdir", "nocsv",
+                                "threads", "csv",    "fleet_timeout_ms"};
+  for (const char* k : kKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+struct Shard {
+  const SuiteBench* bench = nullptr;
+  BenchEnv env;
+  std::size_t worker = 0;
+  std::uint64_t cost = 0;
+  std::string job_id;      ///< empty until submitted
+  std::string error;       ///< non-empty marks the shard failed
+};
+
+bool parse_port(const std::string& s, std::uint16_t& out) {
+  if (s.empty() || s.size() > 5) return false;
+  std::uint32_t v = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    v = v * 10 + static_cast<std::uint32_t>(ch - '0');
+  }
+  if (v == 0 || v > 65535) return false;
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+std::string endpoint_label(const FleetEndpoint& ep) {
+  return ep.host + ":" + std::to_string(ep.port);
+}
+
+/// POST /jobs with bounded 429 retry (the worker's admission queue is the
+/// backpressure point; the front backs off instead of dropping the shard).
+std::optional<std::string> submit_job(service::HttpClient& client,
+                                      const std::string& payload,
+                                      const FleetOptions& opts,
+                                      std::string& error) {
+  const auto give_up =
+      Clock::now() + std::chrono::milliseconds(opts.submit_retry_ms);
+  for (;;) {
+    service::HttpClient::Response resp;
+    try {
+      resp = client.post("/jobs", payload);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+    if (resp.status == 202) {
+      const auto doc = json::parse(resp.body);
+      const json::Value* id =
+          doc && doc->is_object() ? doc->find("id") : nullptr;
+      if (id == nullptr || !id->is_string()) {
+        error = "submit response carried no job id: " + resp.body;
+        return std::nullopt;
+      }
+      return id->as_string();
+    }
+    if (resp.status != 429) {
+      error = "submit rejected (" + std::to_string(resp.status) +
+              "): " + resp.body;
+      return std::nullopt;
+    }
+    if (Clock::now() >= give_up) {
+      error = "admission queue stayed full for " +
+              std::to_string(opts.submit_retry_ms) + "ms";
+      return std::nullopt;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts.poll_interval_ms));
+  }
+}
+
+struct JobResult {
+  std::string text;
+  std::string csv;
+  std::string preamble;
+  std::string epilogue;
+};
+
+/// Poll one job to a terminal state. Returns nullopt (with @p error set)
+/// for every outcome except a clean "done".
+std::optional<JobResult> await_job(service::HttpClient& client,
+                                   const std::string& job_id,
+                                   const FleetOptions& opts,
+                                   std::string& error) {
+  // Client-side give-up: the worker enforces the real budget; this guard
+  // only catches a hung/partitioned worker. Unlimited when no timeout_ms.
+  const bool bounded = opts.timeout_ms > 0;
+  const auto give_up =
+      Clock::now() + std::chrono::milliseconds(2 * opts.timeout_ms + 10000);
+  for (;;) {
+    service::HttpClient::Response resp;
+    try {
+      resp = client.get("/jobs/" + job_id);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+    if (resp.status != 200) {
+      error = "status poll failed (" + std::to_string(resp.status) +
+              "): " + resp.body;
+      return std::nullopt;
+    }
+    const auto doc = json::parse(resp.body);
+    const json::Value* state =
+        doc && doc->is_object() ? doc->find("state") : nullptr;
+    if (state == nullptr || !state->is_string()) {
+      error = "malformed job snapshot: " + resp.body;
+      return std::nullopt;
+    }
+    const std::string s = state->as_string();
+    if (s == "done") {
+      JobResult out;
+      if (const json::Value* t = doc->find("text")) out.text = t->as_string();
+      if (const json::Value* c = doc->find("csv")) out.csv = c->as_string();
+      if (const json::Value* p = doc->find("preamble")) {
+        out.preamble = p->as_string();
+      }
+      if (const json::Value* e = doc->find("epilogue")) {
+        out.epilogue = e->as_string();
+      }
+      return out;
+    }
+    if (s == "failed" || s == "timeout" || s == "cancelled") {
+      const json::Value* err = doc->find("error");
+      error = "job reached state '" + s + "'" +
+              (err != nullptr && err->is_string() ? ": " + err->as_string()
+                                                  : std::string());
+      return std::nullopt;
+    }
+    if (bounded && Clock::now() >= give_up) {
+      // Give up on the shard: cancel it so the worker stops burning time.
+      try {
+        (void)client.del("/jobs/" + job_id);
+      } catch (...) {
+      }
+      error = "worker did not finish within the fleet budget; cancelled";
+      return std::nullopt;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts.poll_interval_ms));
+  }
+}
+
+/// Re-emit one bench's remote output exactly as the local drivers do:
+/// preamble, header, table, "(rows written ...)" when a CSV file was
+/// produced, blank line, then the epilogue (see bench_util.hpp emit() + the
+/// suite driver).
+void emit_remote(const Shard& shard, const JobResult& job) {
+  const SuiteBench& b = *shard.bench;
+  const std::string prefix = job.preamble + "=== " + b.meta.title + " ===\n" +
+                             b.meta.paper_note + "\n";
+  std::string ascii = job.text;
+  if (ascii.size() >= prefix.size() + job.epilogue.size() &&
+      ascii.compare(0, prefix.size(), prefix) == 0 &&
+      (job.epilogue.empty() ||
+       ascii.compare(ascii.size() - job.epilogue.size(), job.epilogue.size(),
+                     job.epilogue) == 0)) {
+    ascii = ascii.substr(prefix.size(),
+                         ascii.size() - prefix.size() - job.epilogue.size());
+  } else {
+    // Unexpected job text shape (newer/older worker?): print it verbatim so
+    // nothing is lost, even though byte-identity with the local driver goes.
+    std::fprintf(stderr,
+                 "warning: bench %s: job text did not match the expected "
+                 "header/epilogue frame; emitting verbatim\n",
+                 b.meta.name.c_str());
+    std::fputs(job.text.c_str(), stdout);
+    std::printf("\n");
+    return;
+  }
+  std::fputs(job.preamble.c_str(), stdout);
+  std::printf("=== %s ===\n%s\n", b.meta.title.c_str(),
+              b.meta.paper_note.c_str());
+  std::fputs(ascii.c_str(), stdout);
+  if (!shard.env.csv_path.empty()) {
+    std::ofstream out(shard.env.csv_path);
+    if (out) out << job.csv;
+    if (out) {
+      std::printf("(rows written to %s)\n", shard.env.csv_path.c_str());
+    }
+  }
+  std::printf("\n");
+  std::fputs(job.epilogue.c_str(), stdout);
+}
+
+}  // namespace
+
+bool parse_fleet_endpoints(const std::string& spec,
+                           std::vector<FleetEndpoint>& out,
+                           std::string& error) {
+  out.clear();
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string tok = spec.substr(start, end - start);
+    if (!tok.empty()) {
+      FleetEndpoint ep;
+      const std::size_t colon = tok.rfind(':');
+      if (colon == std::string::npos) {
+        ep.host = "127.0.0.1";
+        if (!parse_port(tok, ep.port)) {
+          error = "bad fleet endpoint '" + tok + "' (want host:port)";
+          return false;
+        }
+      } else {
+        ep.host = tok.substr(0, colon);
+        if (ep.host.empty() ||
+            !parse_port(tok.substr(colon + 1), ep.port)) {
+          error = "bad fleet endpoint '" + tok + "' (want host:port)";
+          return false;
+        }
+      }
+      out.push_back(std::move(ep));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    error = "empty fleet endpoint list";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> assign_lpt(const std::vector<std::uint64_t>& costs,
+                                    std::size_t workers) {
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return costs[a] > costs[b];
+                   });
+  std::vector<std::uint64_t> load(std::max<std::size_t>(workers, 1), 0);
+  std::vector<std::size_t> out(costs.size(), 0);
+  for (const std::size_t i : order) {
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    out[i] = w;
+    // +1 keeps zero-cost benches spreading round-robin instead of piling
+    // onto worker 0.
+    load[w] += costs[i] + 1;
+  }
+  return out;
+}
+
+int run_fleet(const Config& cli, bool smoke,
+              const std::vector<const SuiteBench*>& selected,
+              const FleetOptions& opts) {
+  constexpr std::uint64_t kSmokeAccesses = 500;
+  const bool nocsv = cli.get_bool("nocsv", false);
+  const std::string csvdir = cli.get_string("csvdir", "");
+
+  // Build every shard's env locally — same code path as the local driver,
+  // so csv paths and effective accesses are identical.
+  std::vector<Shard> shards;
+  shards.reserve(selected.size());
+  for (const SuiteBench* b : selected) {
+    Shard s;
+    s.bench = b;
+    s.env = make_env(cli, b->meta.name.c_str(),
+                     smoke ? kSmokeAccesses : b->meta.default_accesses);
+    if (nocsv) {
+      s.env.csv_path.clear();
+    } else if (!csvdir.empty() && !cli.has("csv")) {
+      s.env.csv_path = csvdir + "/" + b->meta.name + ".csv";
+    }
+    const std::size_t tasks =
+        b->tasks ? b->tasks(s.env).size() : std::size_t{0};
+    s.cost = static_cast<std::uint64_t>(tasks) * s.env.params.accesses_per_core;
+    shards.push_back(std::move(s));
+  }
+
+  std::vector<std::uint64_t> costs;
+  costs.reserve(shards.size());
+  for (const Shard& s : shards) costs.push_back(s.cost);
+  const std::vector<std::size_t> assignment =
+      assign_lpt(costs, opts.endpoints.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shards[i].worker = assignment[i];
+  }
+
+  // One keep-alive connection per worker for the whole run: submit, every
+  // poll, and the payload fetch all ride the same socket.
+  std::vector<std::unique_ptr<service::HttpClient>> clients;
+  clients.reserve(opts.endpoints.size());
+  for (const FleetEndpoint& ep : opts.endpoints) {
+    clients.push_back(std::make_unique<service::HttpClient>(
+        ep.host, ep.port, opts.http_timeout_ms));
+  }
+
+  // Preflight: every worker must answer /healthz before anything ships.
+  for (std::size_t w = 0; w < clients.size(); ++w) {
+    try {
+      const auto resp = clients[w]->get("/healthz");
+      if (resp.status != 200) {
+        std::fprintf(stderr, "error: fleet worker %s unhealthy (%d): %s\n",
+                     endpoint_label(opts.endpoints[w]).c_str(), resp.status,
+                     resp.body.c_str());
+        return static_cast<int>(selected.size());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: fleet worker %s unreachable: %s\n",
+                   endpoint_label(opts.endpoints[w]).c_str(), e.what());
+      return static_cast<int>(selected.size());
+    }
+  }
+
+  // Submit in LPT order (heaviest shards start first), mirroring the local
+  // suite's submission policy. Output below stays in selection order.
+  std::vector<std::size_t> submit_order(shards.size());
+  std::iota(submit_order.begin(), submit_order.end(), std::size_t{0});
+  std::stable_sort(submit_order.begin(), submit_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return shards[a].cost > shards[b].cost;
+                   });
+  std::size_t submitted = 0;
+  for (const std::size_t i : submit_order) {
+    Shard& s = shards[i];
+    json::Object config;
+    for (const auto& [key, value] : cli.values()) {
+      if (!driver_only_key(key)) config.emplace_back(key, value);
+    }
+    // The locally computed effective accesses (bench default or --smoke)
+    // ships explicitly so the worker cannot fall back to its own default.
+    bool has_accesses = false;
+    for (auto& [key, value] : config) {
+      if (key == "accesses") {
+        value = std::to_string(s.env.params.accesses_per_core);
+        has_accesses = true;
+      }
+    }
+    if (!has_accesses) {
+      config.emplace_back("accesses",
+                          std::to_string(s.env.params.accesses_per_core));
+    }
+    json::Object root{
+        {"bench", s.bench->meta.name},
+        {"config", std::move(config)},
+    };
+    if (opts.timeout_ms > 0) {
+      root.emplace_back("timeout_ms",
+                        static_cast<std::int64_t>(opts.timeout_ms));
+    }
+    const auto id = submit_job(*clients[s.worker],
+                               json::Value(std::move(root)).dump(), opts,
+                               s.error);
+    if (id) {
+      s.job_id = *id;
+      ++submitted;
+    } else {
+      std::fprintf(stderr, "error: bench %s: submit to %s failed: %s\n",
+                   s.bench->meta.name.c_str(),
+                   endpoint_label(opts.endpoints[s.worker]).c_str(),
+                   s.error.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "bench_suite: fleet of %zu workers, %zu/%zu shards submitted\n",
+               opts.endpoints.size(), submitted, shards.size());
+
+  // Ordered merge: collect and emit strictly in selection order, exactly
+  // like the local driver collects futures — determinism across the wire.
+  int failures = 0;
+  for (Shard& s : shards) {
+    if (s.job_id.empty()) {
+      ++failures;
+      continue;
+    }
+    std::string error;
+    const auto job = await_job(*clients[s.worker], s.job_id, opts, error);
+    if (!job) {
+      std::fprintf(stderr, "error: bench %s on %s failed: %s\n",
+                   s.bench->meta.name.c_str(),
+                   endpoint_label(opts.endpoints[s.worker]).c_str(),
+                   error.c_str());
+      ++failures;
+      continue;
+    }
+    emit_remote(s, *job);
+  }
+  return failures;
+}
+
+}  // namespace hmcc::bench

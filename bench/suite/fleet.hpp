@@ -1,0 +1,60 @@
+// Fleet driver: bench_suite --fleet shards the suite's benches across
+// several hmc_coalescerd workers over HTTP and merges their results in
+// deterministic selection order — the SweepRunner ordered-merge guarantee
+// extended across the wire.
+//
+// Each bench (one set of sweep points) is submitted as ONE job to one
+// worker, so every shard inherits the worker's JobManager semantics
+// unchanged: bounded admission (429 -> client-side retry with backoff),
+// per-job wall-clock timeouts (fleet_timeout_ms= knob), and cooperative
+// cancellation (outstanding jobs are DELETEd when the front process gives
+// up on a shard). Jobs are assigned to workers in longest-processing-time
+// order (estimated task count x accesses, the same estimator the local
+// suite scheduler uses), but stdout and CSVs are always emitted in
+// selection order — byte-identical to the single-process bench_suite run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "suite/registry.hpp"
+
+namespace hmcc::bench {
+
+struct FleetEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parse "host:port[,host:port...]" (host defaults to 127.0.0.1 when a bare
+/// port is given). Returns false and fills @p error on malformed input.
+bool parse_fleet_endpoints(const std::string& spec,
+                           std::vector<FleetEndpoint>& out,
+                           std::string& error);
+
+/// Longest-processing-time greedy assignment: benches sorted by descending
+/// @p costs go to the currently least-loaded worker. Deterministic (stable
+/// ties by index). Returns worker index per bench.
+std::vector<std::size_t> assign_lpt(const std::vector<std::uint64_t>& costs,
+                                    std::size_t workers);
+
+struct FleetOptions {
+  std::vector<FleetEndpoint> endpoints;
+  std::uint64_t timeout_ms = 0;     ///< per-job budget (0 = worker default)
+  int poll_interval_ms = 25;        ///< job status poll cadence
+  int submit_retry_ms = 30000;      ///< total budget to get past 429s
+  int http_timeout_ms = 60000;      ///< per-request client IO budget
+};
+
+/// Run @p selected benches across the fleet. @p cli carries the shared
+/// key=value knobs exactly as the local driver sees them; @p smoke applies
+/// the suite's --smoke accesses default. Emits stdout + CSVs in selection
+/// order, byte-identical to the local suite driver. Returns the number of
+/// failed benches (0 = success).
+int run_fleet(const Config& cli, bool smoke,
+              const std::vector<const SuiteBench*>& selected,
+              const FleetOptions& opts);
+
+}  // namespace hmcc::bench

@@ -84,6 +84,9 @@ int run_standalone(const SuiteBench& bench, int argc, char** argv) {
   std::vector<std::any> results = env.runner().map<std::any>(
       tasks.size(), [&](std::size_t i) { return tasks[i](); });
   const Table table = bench.format(env, results);
+  if (bench.preamble) {
+    std::fputs(bench.preamble(env, results).c_str(), stdout);
+  }
   emit(table, env, bench.meta.title.c_str(), bench.meta.paper_note.c_str());
   if (bench.epilogue) std::fputs(bench.epilogue(env, results).c_str(), stdout);
   return 0;

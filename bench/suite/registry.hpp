@@ -42,8 +42,16 @@ struct SuiteBench {
   /// figures compute everything in format()).
   std::function<std::vector<SuiteTask>(const BenchEnv&)> tasks;
   /// Assemble the figure table from the ordered task results (results[i] is
-  /// tasks[i]'s return value).
+  /// tasks[i]'s return value). Must NOT print: anything written to stdout
+  /// here would bypass the job payload when the bench runs inside the
+  /// daemon (and be lost by the fleet's cross-process merge) — extra text
+  /// belongs in preamble/epilogue.
   std::function<Table(const BenchEnv&, std::vector<std::any>&)> format;
+  /// Optional extra output BEFORE the "=== title ===" header (e.g. the
+  /// pipeline ablation's hardware cost sheet). Returned, not printed, for
+  /// the same reason as epilogue.
+  std::function<std::string(const BenchEnv&, std::vector<std::any>&)>
+      preamble;
   /// Optional extra output after the table (e.g. fig10's 16B-load share
   /// line). Returns the text rather than printing it so non-stdout drivers
   /// (the bench-service daemon) can capture it into the job payload.

@@ -34,9 +34,16 @@ system::JobOutput run_bench_job(const SuiteBench& bench,
   ctx.checkpoint();
   const Table table = bench.format(env, results);
   system::JobOutput out;
-  out.text = "=== " + bench.meta.title + " ===\n" + bench.meta.paper_note + "\n" +
-             table.to_ascii();
-  if (bench.epilogue) out.text += bench.epilogue(env, results);
+  if (bench.preamble) {
+    out.preamble = bench.preamble(env, results);
+    out.text = out.preamble;
+  }
+  out.text += "=== " + bench.meta.title + " ===\n" + bench.meta.paper_note +
+              "\n" + table.to_ascii();
+  if (bench.epilogue) {
+    out.epilogue = bench.epilogue(env, results);
+    out.text += out.epilogue;
+  }
   out.csv = table.to_csv();
   return out;
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Fleet byte-identity smoke test: bench_suite --fleet sharded across three
+# hmc_coalescerd workers must produce stdout AND CSV files byte-identical
+# to the plain single-process bench_suite run.
+#
+# Both runs happen in their own working directory with the same relative
+# csvdir, so the "(rows written to ...)" lines match byte for byte too.
+#
+# Usage: scripts/fleet_smoke.sh [path-to-bench_suite] [path-to-hmc_coalescerd]
+set -euo pipefail
+
+SUITE="${1:-build/bench/bench_suite}"
+DAEMON="${2:-build/src/service/hmc_coalescerd}"
+for bin in "$SUITE" "$DAEMON"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: binary not found at $bin" >&2
+    exit 1
+  fi
+done
+SUITE="$(readlink -f "$SUITE")"
+DAEMON="$(readlink -f "$DAEMON")"
+
+WORKDIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    [[ -n "$pid" ]] && kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# Boot three workers on ephemeral ports.
+PORTS=()
+for i in 1 2 3; do
+  "$DAEMON" port=0 threads=2 job_workers=1 max_queued_jobs=16 \
+    > "$WORKDIR/daemon$i.out" 2> "$WORKDIR/daemon$i.err" &
+  PIDS+=($!)
+done
+for i in 1 2 3; do
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's#.*listening on http://[0-9.]*:\([0-9]*\).*#\1#p' \
+            "$WORKDIR/daemon$i.out")"
+    [[ -n "$PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$PORT" ]] || {
+    echo "error: daemon $i never announced a port" >&2
+    cat "$WORKDIR/daemon$i.err" >&2
+    exit 1
+  }
+  PORTS+=("$PORT")
+done
+ENDPOINTS="127.0.0.1:${PORTS[0]},127.0.0.1:${PORTS[1]},127.0.0.1:${PORTS[2]}"
+echo "fleet up: $ENDPOINTS"
+
+# Single-process reference run.
+mkdir -p "$WORKDIR/local/csv" "$WORKDIR/fleet/csv"
+(cd "$WORKDIR/local" && \
+  "$SUITE" --smoke csvdir=csv > stdout.txt 2> stderr.txt)
+
+# Sharded run over the fleet.
+(cd "$WORKDIR/fleet" && \
+  "$SUITE" --smoke csvdir=csv --fleet "$ENDPOINTS" \
+    fleet_timeout_ms=120000 > stdout.txt 2> stderr.txt)
+
+if ! diff -u "$WORKDIR/local/stdout.txt" "$WORKDIR/fleet/stdout.txt"; then
+  echo "error: fleet stdout differs from the single-process run" >&2
+  exit 1
+fi
+if ! diff -r "$WORKDIR/local/csv" "$WORKDIR/fleet/csv"; then
+  echo "error: fleet CSVs differ from the single-process run" >&2
+  exit 1
+fi
+CSV_COUNT="$(ls "$WORKDIR/fleet/csv" | wc -l)"
+[[ "$CSV_COUNT" -gt 0 ]] || { echo "error: no CSVs written" >&2; exit 1; }
+
+# Graceful fleet shutdown: every worker must drain and exit 0.
+for pid in "${PIDS[@]}"; do
+  kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+  RC=0
+  wait "$pid" || RC=$?
+  [[ "$RC" -eq 0 ]] || { echo "error: worker $pid exited $RC" >&2; exit 1; }
+done
+PIDS=()
+
+echo "fleet smoke: PASS (stdout + $CSV_COUNT CSVs byte-identical across \
+$ENDPOINTS)"

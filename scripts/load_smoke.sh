@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# Concurrency smoke test for hmc_coalescerd's event-loop server: many
+# simultaneous keep-alive clients hammer POST /jobs + GET /metrics +
+# GET /jobs/<id> on ONE daemon. Verifies that
+#   - every response on every connection parses (no cross-talk between
+#     pipelined/keep-alive requests under load),
+#   - connections are actually reused (server-side keepalive counter moves),
+#   - every job's output is byte-identical to a serial baseline job with the
+#     same config — concurrency must not leak into results.
+#
+# Usage: scripts/load_smoke.sh [path-to-hmc_coalescerd]
+set -euo pipefail
+
+DAEMON="${1:-build/src/service/hmc_coalescerd}"
+if [[ ! -x "$DAEMON" ]]; then
+  echo "error: daemon binary not found at $DAEMON" >&2
+  exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# Small admission queue on purpose: the storm must exercise the 429 path.
+"$DAEMON" port=0 threads=2 job_workers=2 max_queued_jobs=16 http_workers=4 \
+  > "$WORKDIR/daemon.out" 2> "$WORKDIR/daemon.err" &
+DAEMON_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's#.*listening on http://[0-9.]*:\([0-9]*\).*#\1#p' \
+          "$WORKDIR/daemon.out")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "error: daemon died during startup" >&2
+    cat "$WORKDIR/daemon.err" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "error: no listening port announced" >&2; exit 1; }
+echo "daemon up on 127.0.0.1:$PORT (pid $DAEMON_PID)"
+
+python3 - "$PORT" <<'PY'
+import http.client
+import json
+import sys
+import threading
+import time
+
+PORT = int(sys.argv[1])
+CLIENTS = 16
+JOBS_PER_CLIENT = 2
+JOB = {"bench": "fig08", "config": {"accesses": 200, "seed": 3},
+       "timeout_ms": 120000}
+
+def request(conn, method, target, body=None):
+    payload = json.dumps(body) if body is not None else None
+    conn.request(method, target, body=payload)
+    resp = conn.getresponse()
+    data = resp.read().decode()
+    return resp.status, data
+
+def run_job(conn):
+    """Submit one job (retrying 429s) and poll it to completion on the SAME
+    keep-alive connection. Returns the job's text payload."""
+    deadline = time.monotonic() + 120
+    while True:
+        status, data = request(conn, "POST", "/jobs", JOB)
+        if status == 202:
+            job_id = json.loads(data)["id"]
+            break
+        if status != 429:
+            raise AssertionError(f"submit got {status}: {data}")
+        if time.monotonic() > deadline:
+            raise AssertionError("admission queue stayed full for 120s")
+        time.sleep(0.02)
+    while True:
+        status, data = request(conn, "GET", f"/jobs/{job_id}")
+        assert status == 200, f"poll got {status}: {data}"
+        snap = json.loads(data)
+        if snap["state"] == "done":
+            return snap["text"]
+        assert snap["state"] in ("queued", "running"), snap
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job {job_id} never finished: {snap}")
+        time.sleep(0.02)
+
+# Serial baseline first: one job, one connection, nothing else in flight.
+base_conn = http.client.HTTPConnection("127.0.0.1", PORT, timeout=60)
+baseline = run_job(base_conn)
+base_conn.close()
+assert baseline, "baseline job produced no text"
+
+errors = []
+def client(idx):
+    try:
+        # One persistent connection per client thread: every request below
+        # rides the same socket (http.client reuses it while the server
+        # answers Connection: keep-alive).
+        conn = http.client.HTTPConnection("127.0.0.1", PORT, timeout=60)
+        for _ in range(JOBS_PER_CLIENT):
+            text = run_job(conn)
+            if text != baseline:
+                raise AssertionError(
+                    f"client {idx}: job text diverged from baseline")
+            status, metrics = request(conn, "GET", "/metrics")
+            assert status == 200 and metrics.startswith("# "), \
+                f"bad /metrics under load: {status}"
+        conn.close()
+    except Exception as exc:  # noqa: BLE001 - smoke test, report everything
+        errors.append(f"client {idx}: {exc!r}")
+
+threads = [threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+if errors:
+    raise SystemExit("\n".join(errors))
+
+# The server must have seen real keep-alive reuse and all our connections.
+conn = http.client.HTTPConnection("127.0.0.1", PORT, timeout=60)
+status, health = request(conn, "GET", "/healthz")
+conn.close()
+assert status == 200, health
+http_stats = json.loads(health)["http"]
+assert http_stats["connections_accepted"] >= CLIENTS + 1, http_stats
+assert http_stats["keepalive_reuses"] > 0, http_stats
+total = CLIENTS * JOBS_PER_CLIENT
+print(f"load smoke: {CLIENTS} clients x {JOBS_PER_CLIENT} jobs "
+      f"({total} jobs) all byte-identical to the serial baseline; "
+      f"server stats: {http_stats}")
+PY
+
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+DAEMON_PID=""
+[[ "$RC" -eq 0 ]] || {
+  echo "error: daemon exited $RC after SIGTERM (want 0)" >&2
+  cat "$WORKDIR/daemon.err" >&2
+  exit 1
+}
+echo "load smoke: PASS"

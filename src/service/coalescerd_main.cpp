@@ -14,10 +14,21 @@
 //     max_job_history=N terminal jobs kept for GET /jobs/<id>; older ones
 //                       are evicted and answer 404 {"error":"evicted"}
 //                       (default 256; 0 = unbounded)
+//     http_workers=N    handler threads behind the event loop (default 2;
+//                       0 = run handlers inline on the loop thread)
+//     max_connections=N simultaneous keep-alive connections held open;
+//                       beyond it new clients wait in the listen backlog
+//                       (default 256)
+//     io_timeout_ms=N   progress timeout for partially read requests /
+//                       partially written responses (default 5000)
+//     idle_timeout_ms=N keep-alive connections idle longer than this are
+//                       closed (default 5000)
 //
-// SIGTERM/SIGINT stop the accept loop, drain every admitted job to a
-// terminal state, and exit 0 — an in-flight job finishing during the drain
-// completes normally.
+// The server is a poll()-driven event loop: many concurrent connections,
+// HTTP/1.1 keep-alive, pipelined requests answered in order. SIGTERM/SIGINT
+// stop the accept loop, finish every dispatched request, drain every
+// admitted job to a terminal state, and exit 0 — an in-flight job finishing
+// during the drain completes normally.
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -66,12 +77,19 @@ int main(int argc, char** argv) {
   service::HttpServer::Options http_opts;
   http_opts.bind_address = cli.get_string("bind", "127.0.0.1");
   http_opts.port = static_cast<std::uint16_t>(cli.get_uint("port", 7780));
+  http_opts.workers = static_cast<unsigned>(cli.get_uint("http_workers", 2));
+  http_opts.max_connections = cli.get_uint("max_connections", 256);
+  http_opts.io_timeout_ms =
+      static_cast<int>(cli.get_uint("io_timeout_ms", 5000));
+  http_opts.idle_timeout_ms =
+      static_cast<int>(cli.get_uint("idle_timeout_ms", 5000));
 
   try {
     service::HttpServer server(http_opts,
                                [&svc](const service::HttpRequest& req) {
                                  return svc.handle(req);
                                });
+    svc.set_connection_stats([&server] { return server.stats(); });
     g_server = &server;
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);

@@ -1,23 +1,37 @@
-// Minimal HTTP/1.1 server on plain POSIX sockets for the bench-service
-// daemon. No external dependencies, no TLS, no keep-alive: one request per
-// connection, `Connection: close` on every response. That is all a
-// localhost job-control plane needs, and it keeps the attack/bug surface
-// reviewable in one file.
+// HTTP/1.1 server on plain POSIX sockets for the bench-service daemon.
+// No external dependencies, no TLS. Since the concurrent-serving rework the
+// server is a poll()-driven event loop: many simultaneous connections, each
+// advanced by a per-connection state machine (read-head -> read-body ->
+// dispatch -> write), with HTTP/1.1 keep-alive and pipelined request
+// parsing (bytes read past the current request stay in the connection
+// buffer and seed the next request instead of being dropped).
 //
-// Threading model: serve() accepts and handles connections on the calling
-// thread. Handlers must therefore be fast — the bench service's handlers
-// only touch the JobManager's bookkeeping (submit/status/occupancy), never
-// run simulations inline. request_stop() is async-signal-safe (an atomic
-// store plus a self-pipe write), so a SIGTERM handler can stop the accept
-// loop directly; in-flight handler work finishes before serve() returns.
+// Threading model: serve() runs the event loop on the calling thread; it
+// owns every socket. Handler calls are dispatched to a small worker pool
+// (Options::workers; 0 runs them inline on the loop thread) and their
+// responses come back over a completion queue + self-pipe wake-up, so a
+// handler never blocks the accept loop. Per connection at most ONE request
+// is in flight at a time — pipelined requests are answered strictly in
+// arrival order. Handlers must be thread-safe when workers > 0.
+// request_stop() is async-signal-safe (an atomic store plus a self-pipe
+// write); after it, serve() stops accepting, finishes every dispatched
+// request and in-flight write, then returns.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+namespace hmcc {
+class ThreadPool;
+}
 
 namespace hmcc::service {
 
@@ -28,6 +42,10 @@ struct HttpRequest {
   std::string body;
   /// Header names are lowercased; values are trimmed of surrounding space.
   std::vector<std::pair<std::string, std::string>> headers;
+  /// 0 for HTTP/1.0, 1 for HTTP/1.1 (anything else HTTP/1.x is treated as
+  /// 1.1). Drives the keep-alive default: 1.1 persists unless the client
+  /// sends `Connection: close`, 1.0 closes unless it sends `keep-alive`.
+  int minor_version = 1;
 
   /// First header with @p lowercase_name; nullptr when absent.
   [[nodiscard]] const std::string* header(
@@ -50,12 +68,33 @@ class HttpServer {
   struct Options {
     std::string bind_address = "127.0.0.1";
     std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
-    int backlog = 16;
-    /// Per-connection ceiling on headers+body; larger requests get 413.
+    int backlog = 64;
+    /// Per-request ceiling on headers+body; larger requests get 413.
     std::size_t max_request_bytes = 1u << 20;
-    /// Per-read/write poll timeout; a stalled client is dropped, it cannot
-    /// wedge the accept loop forever.
+    /// Progress timeout while a request is partially read or a response is
+    /// partially written; a stalled client gets 408 (reads) or is dropped
+    /// (writes), it cannot wedge the loop.
     int io_timeout_ms = 5000;
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it (silently — no 408 for idle reuse).
+    int idle_timeout_ms = 5000;
+    /// Connections held open concurrently; beyond this, accepting pauses
+    /// and new clients wait in the listen backlog.
+    std::size_t max_connections = 256;
+    /// Handler threads. 0 runs handlers inline on the event-loop thread
+    /// (adequate for fast bookkeeping handlers); N > 0 dispatches to a
+    /// pool so a slow handler never stalls other connections' IO.
+    unsigned workers = 2;
+  };
+
+  /// Monotonic counters for observability; readable from any thread.
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_open = 0;
+    std::uint64_t requests_served = 0;
+    /// Requests served on a connection that had already served one — i.e.
+    /// keep-alive actually being exercised.
+    std::uint64_t keepalive_reuses = 0;
   };
 
   /// Binds and listens immediately; throws std::system_error on failure.
@@ -68,16 +107,57 @@ class HttpServer {
   /// The bound port (resolves port=0 to the kernel's pick).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Accept/handle loop; returns after request_stop(). Any in-flight
-  /// request is answered before returning.
+  /// Event loop; returns after request_stop(). Every dispatched request is
+  /// answered and written out before returning.
   void serve();
 
   /// Async-signal-safe stop: atomic flag + self-pipe write. Safe to call
   /// from a signal handler or another thread; idempotent.
   void request_stop() noexcept;
 
+  [[nodiscard]] Stats stats() const noexcept;
+
  private:
-  void handle_connection(int fd);
+  struct Conn {
+    enum class State {
+      kReadHead,  ///< collecting bytes until the blank line
+      kReadBody,  ///< head parsed, collecting Content-Length body bytes
+      kDispatch,  ///< handler running (worker pool or inline)
+      kWrite,     ///< response bytes draining to the socket
+    };
+    int fd = -1;
+    State state = State::kReadHead;
+    std::string in;   ///< unconsumed request bytes (pipelining carry-over)
+    std::string out;  ///< response bytes not yet written
+    std::size_t out_off = 0;
+    HttpRequest req;
+    std::size_t head_end = 0;        ///< offset of "\r\n\r\n" for req
+    std::size_t content_length = 0;  ///< body bytes of the current request
+    bool keep_alive = true;          ///< decision for the current request
+    bool close_after_write = false;
+    bool read_closed = false;  ///< peer half-closed; drain then close
+    std::uint64_t served = 0;  ///< requests answered on this connection
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void accept_ready(std::chrono::steady_clock::time_point now);
+  /// Read whatever the socket has; false when the connection died.
+  bool read_ready(std::uint64_t id, std::chrono::steady_clock::time_point now);
+  /// Advance the state machine until it blocks on IO, dispatches, or
+  /// closes. Returns false when the connection was closed.
+  bool pump(std::uint64_t id, std::chrono::steady_clock::time_point now);
+  /// Try to drain Conn::out; false when the connection died.
+  bool write_ready(std::uint64_t id,
+                   std::chrono::steady_clock::time_point now);
+  void dispatch(std::uint64_t id, std::chrono::steady_clock::time_point now);
+  void start_write(Conn& c, const HttpResponse& resp, bool close_after,
+                   std::chrono::steady_clock::time_point now);
+  /// Queue an error response and mark the connection for close.
+  void fail_request(Conn& c, int status, const std::string& message,
+                    std::chrono::steady_clock::time_point now);
+  void drain_completions(std::chrono::steady_clock::time_point now);
+  void close_conn(std::uint64_t id);
+  void wake() noexcept;
 
   Options opts_;
   HttpHandler handler_;
@@ -86,6 +166,21 @@ class HttpServer {
   int wake_wr_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  std::mutex completions_mutex_;
+  std::vector<std::pair<std::uint64_t, HttpResponse>> completions_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+
+  // Declared last: destroyed first, so worker lambdas (which touch the
+  // completion queue and wake pipe) are joined before those members go.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace hmcc::service

@@ -1,0 +1,214 @@
+#include "service/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace hmcc::service {
+namespace {
+
+std::string lowercase(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("http client: " + what);
+}
+
+/// poll() for one direction with the client's budget; false on timeout.
+bool wait_io(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+const std::string* HttpClient::Response::header(
+    const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { close_(); }
+
+void HttpClient::close_() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+}
+
+void HttpClient::connect_() {
+  close_();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail("socket: " + std::string(std::strerror(errno)));
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close_();
+    fail("bad address '" + host_ + "' (numeric IPv4 expected)");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    close_();
+    fail("connect " + host_ + ":" + std::to_string(port_) + ": " + err);
+  }
+  ++connects_;
+}
+
+bool HttpClient::send_all_(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    if (!wait_io(fd_, POLLOUT, timeout_ms_)) fail("send timeout");
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // dead connection (EPIPE/ECONNRESET/0-progress)
+  }
+  return true;
+}
+
+bool HttpClient::read_response_(Response& out) {
+  // Head first: read until the blank line.
+  std::size_t head_end;
+  while ((head_end = inbuf_.find("\r\n\r\n")) == std::string::npos) {
+    if (!wait_io(fd_, POLLIN, timeout_ms_)) fail("response timeout");
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      inbuf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (inbuf_.empty()) return false;  // died before any byte: retryable
+    fail("connection closed mid-response");
+  }
+
+  const std::string head = inbuf_.substr(0, head_end);
+  std::size_t pos = head.find("\r\n");
+  const std::string status_line =
+      head.substr(0, pos == std::string::npos ? head.size() : pos);
+  if (status_line.rfind("HTTP/1.", 0) != 0) {
+    fail("malformed status line: " + status_line);
+  }
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || sp + 4 > status_line.size()) {
+    fail("malformed status line: " + status_line);
+  }
+  out.status = 0;
+  for (std::size_t i = sp + 1; i < status_line.size(); ++i) {
+    const char ch = status_line[i];
+    if (ch < '0' || ch > '9') break;
+    out.status = out.status * 10 + (ch - '0');
+  }
+  if (out.status < 100 || out.status > 599) {
+    fail("implausible status in: " + status_line);
+  }
+
+  out.headers.clear();
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    pos += 2;
+    std::size_t eol = head.find("\r\n", pos);
+    const std::size_t line_end = eol == std::string::npos ? head.size() : eol;
+    const std::string line = head.substr(pos, line_end - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos && colon > 0) {
+      out.headers.emplace_back(lowercase(trim(line.substr(0, colon))),
+                               trim(line.substr(colon + 1)));
+    }
+    pos = eol;
+  }
+
+  std::size_t content_length = 0;
+  if (const std::string* cl = out.header("content-length")) {
+    for (const char ch : *cl) {
+      if (ch < '0' || ch > '9') fail("bad content-length: " + *cl);
+      content_length = content_length * 10 + static_cast<std::size_t>(ch - '0');
+    }
+  }
+
+  const std::size_t body_start = head_end + 4;
+  while (inbuf_.size() - body_start < content_length) {
+    if (!wait_io(fd_, POLLIN, timeout_ms_)) fail("body timeout");
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      inbuf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    fail("connection closed mid-body");
+  }
+  out.body = inbuf_.substr(body_start, content_length);
+  inbuf_.erase(0, body_start + content_length);
+
+  const std::string* conn = out.header("connection");
+  if (conn != nullptr && lowercase(*conn).find("close") != std::string::npos) {
+    close_();
+  }
+  return true;
+}
+
+HttpClient::Response HttpClient::request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body,
+                                         const std::string& content_type) {
+  std::string raw = method + " " + target + " HTTP/1.1\r\nHost: " + host_ +
+                    ":" + std::to_string(port_) + "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    raw += "Content-Type: " + content_type + "\r\n";
+    raw += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  raw += "\r\n" + body;
+
+  // At most one retry, and only when a REUSED connection died before
+  // yielding a single response byte — the server's idle timeout racing our
+  // next request. A fresh connection failing is a real error.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool fresh = fd_ < 0;
+    if (fresh) connect_();
+    Response resp;
+    if (send_all_(raw) && read_response_(resp)) return resp;
+    close_();
+    if (fresh) fail("connection died before a response");
+  }
+  fail("connection died before a response (after reconnect)");
+}
+
+}  // namespace hmcc::service

@@ -1,0 +1,77 @@
+// Minimal blocking HTTP/1.1 client on POSIX sockets, the wire-side twin of
+// HttpServer: Content-Length framed bodies, persistent (keep-alive)
+// connections, and honest timeouts. The bench-suite fleet driver uses one
+// HttpClient per hmc_coalescerd worker to submit and poll sharded jobs over
+// a single reused connection; tests use it to exercise the server's
+// keep-alive path without hand-rolled socket code.
+//
+// Not thread-safe: one HttpClient per thread (it caches one connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hmcc::service {
+
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;  ///< lowercased names
+    std::string body;
+
+    [[nodiscard]] const std::string* header(
+        const std::string& lowercase_name) const;
+  };
+
+  /// Does not connect yet; the first request() dials.
+  HttpClient(std::string host, std::uint16_t port, int timeout_ms = 30000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request/response exchange. Reuses the cached connection when the
+  /// server kept it alive; transparently reconnects ONCE when a reused
+  /// connection turns out dead before any response byte arrived (the
+  /// classic keep-alive race against the server's idle timeout). Throws
+  /// std::runtime_error on connect/IO/parse failures or timeout.
+  Response request(const std::string& method, const std::string& target,
+                   const std::string& body = "",
+                   const std::string& content_type = "application/json");
+
+  Response get(const std::string& target) { return request("GET", target); }
+  Response post(const std::string& target, const std::string& body) {
+    return request("POST", target, body);
+  }
+  Response del(const std::string& target) {
+    return request("DELETE", target);
+  }
+
+  /// TCP connections dialed so far — 1 after any number of keep-alive
+  /// requests against a healthy server.
+  [[nodiscard]] std::uint64_t connects() const noexcept { return connects_; }
+
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void connect_();
+  void close_() noexcept;
+  /// Sends the serialized request; false when the connection is dead.
+  bool send_all_(const std::string& bytes);
+  /// Reads one full response; false when the connection died before the
+  /// first byte (retryable), throws on mid-response failures.
+  bool read_response_(Response& out);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int timeout_ms_ = 30000;
+  int fd_ = -1;
+  std::string inbuf_;  ///< bytes read past the previous response
+  std::uint64_t connects_ = 0;
+};
+
+}  // namespace hmcc::service

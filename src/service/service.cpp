@@ -62,6 +62,12 @@ json::Value snapshot_to_json(const system::JobSnapshot& snap) {
   if (snap.state == system::JobState::kDone) {
     o.emplace_back("text", snap.output.text);
     o.emplace_back("csv", snap.output.csv);
+    if (!snap.output.preamble.empty()) {
+      o.emplace_back("preamble", snap.output.preamble);
+    }
+    if (!snap.output.epilogue.empty()) {
+      o.emplace_back("epilogue", snap.output.epilogue);
+    }
   }
   if (!snap.error.empty()) o.emplace_back("error", snap.error);
   return o;
@@ -307,10 +313,22 @@ HttpResponse BenchService::cancel_job(std::uint64_t id) {
 
 HttpResponse BenchService::healthz() const {
   const auto occ = jobs_.occupancy();
+  json::Value http = json::Object{};
+  if (connection_stats_) {
+    const HttpServer::Stats cs = connection_stats_();
+    http = json::Object{
+        {"connections_open", static_cast<std::int64_t>(cs.connections_open)},
+        {"connections_accepted",
+         static_cast<std::int64_t>(cs.connections_accepted)},
+        {"requests_served", static_cast<std::int64_t>(cs.requests_served)},
+        {"keepalive_reuses", static_cast<std::int64_t>(cs.keepalive_reuses)},
+    };
+  }
   return json_response(
       200,
       json::Object{
           {"status", draining() ? "draining" : "ok"},
+          {"http", std::move(http)},
           {"benches", static_cast<std::int64_t>(benches_.size())},
           {"jobs",
            json::Object{
@@ -353,6 +371,21 @@ HttpResponse BenchService::metrics_exposition() {
   registry_
       .gauge("hmcc_pool_sweep_queued", "Sweep tasks waiting for a worker")
       .set(static_cast<double>(occ.sweep_queued));
+  if (connection_stats_) {
+    const HttpServer::Stats cs = connection_stats_();
+    registry_
+        .gauge("hmcc_http_connections_open",
+               "TCP connections the server holds open now")
+        .set(static_cast<double>(cs.connections_open));
+    registry_
+        .gauge("hmcc_http_connections_accepted",
+               "TCP connections accepted since startup")
+        .set(static_cast<double>(cs.connections_accepted));
+    registry_
+        .gauge("hmcc_http_keepalive_reuses",
+               "Requests served on an already-used keep-alive connection")
+        .set(static_cast<double>(cs.keepalive_reuses));
+  }
 
   HttpResponse resp;
   resp.status = 200;

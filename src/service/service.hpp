@@ -77,6 +77,14 @@ class BenchService {
   /// live here; tests can read it directly.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
 
+  /// Hook the HttpServer's connection counters into /metrics and /healthz:
+  /// the daemon passes [&server] { return server.stats(); } after
+  /// constructing the server. Sampled at scrape time; must be thread-safe
+  /// (HttpServer::stats() is). Unset = the connection gauges are omitted.
+  void set_connection_stats(std::function<HttpServer::Stats()> fn) {
+    connection_stats_ = std::move(fn);
+  }
+
  private:
   HttpResponse list_benches() const;
   HttpResponse submit_job(const HttpRequest& req);
@@ -88,6 +96,7 @@ class BenchService {
 
   std::vector<ServiceBench> benches_;
   json::Value knob_metadata_;
+  std::function<HttpServer::Stats()> connection_stats_;
   std::atomic<bool> draining_{false};
   // Declared before jobs_: the JobManager holds counter references into the
   // registry, so the registry must outlive it (destruction is reverse

@@ -1,0 +1,232 @@
+// Fleet driver tests: endpoint parsing, the LPT shard assignment, and the
+// full wire round-trip — run_fleet against real in-process hmc_coalescerd
+// stacks (HttpServer + BenchService + the real registry) must reproduce the
+// local bench_suite output byte for byte.
+#include "suite/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/http.hpp"
+#include "service/service.hpp"
+#include "suite/registry.hpp"
+#include "suite/service_adapter.hpp"
+
+namespace hmcc::bench {
+namespace {
+
+TEST(FleetEndpoints, ParsesHostPortLists) {
+  std::vector<FleetEndpoint> eps;
+  std::string err;
+  ASSERT_TRUE(parse_fleet_endpoints("127.0.0.1:7780,10.0.0.2:8000", eps, err));
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps[0].host, "127.0.0.1");
+  EXPECT_EQ(eps[0].port, 7780);
+  EXPECT_EQ(eps[1].host, "10.0.0.2");
+  EXPECT_EQ(eps[1].port, 8000);
+
+  // A bare port means localhost.
+  ASSERT_TRUE(parse_fleet_endpoints("9000", eps, err));
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].host, "127.0.0.1");
+  EXPECT_EQ(eps[0].port, 9000);
+}
+
+TEST(FleetEndpoints, RejectsMalformedSpecs) {
+  std::vector<FleetEndpoint> eps;
+  std::string err;
+  for (const char* bad : {"", ",", "host:", ":7780", "host:0", "host:99999",
+                          "host:12ab", "host:-1"}) {
+    EXPECT_FALSE(parse_fleet_endpoints(bad, eps, err)) << bad;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(FleetAssign, LptBalancesAndStaysDeterministic) {
+  // Costs 10,9,2,1 over 2 workers: 10 -> w0, 9 -> w1, 2 -> w1 (load 9<10),
+  // 1 -> w0 is wrong (load 10 vs 11)... LPT: after 2 -> w1 loads are
+  // 11/12(+1s), so 1 goes to w0.
+  const std::vector<std::uint64_t> costs = {10, 9, 2, 1};
+  const auto a = assign_lpt(costs, 2);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_EQ(a[2], 1u);
+  EXPECT_EQ(a[3], 0u);
+  // Deterministic: same input, same assignment.
+  EXPECT_EQ(assign_lpt(costs, 2), a);
+}
+
+TEST(FleetAssign, ZeroCostShardsSpreadInsteadOfPilingOnWorkerZero) {
+  const std::vector<std::uint64_t> costs = {0, 0, 0, 0};
+  const auto a = assign_lpt(costs, 2);
+  int w0 = 0;
+  for (const std::size_t w : a) w0 += w == 0 ? 1 : 0;
+  EXPECT_EQ(w0, 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end against real in-process workers.
+
+struct Worker {
+  Worker()
+      : svc(service_benches(), job_options()),
+        server(server_options(),
+               [this](const service::HttpRequest& req) {
+                 return svc.handle(req);
+               }),
+        thread([this] { server.serve(); }) {}
+
+  ~Worker() {
+    server.request_stop();
+    thread.join();
+    svc.begin_drain();
+    svc.drain();
+  }
+
+  static system::JobManager::Options job_options() {
+    system::JobManager::Options o;
+    o.sweep_threads = 1;
+    o.job_workers = 1;
+    o.max_queued_jobs = 8;
+    return o;
+  }
+
+  static service::HttpServer::Options server_options() {
+    service::HttpServer::Options o;
+    o.port = 0;
+    return o;
+  }
+
+  service::BenchService svc;
+  service::HttpServer server;
+  std::thread thread;
+};
+
+/// What the local bench_suite driver would print for @p b with no CSV:
+/// header, table in input order, blank line, epilogue.
+std::string local_stdout(const SuiteBench& b, const Config& cli) {
+  BenchEnv env = make_env(cli, b.meta.name.c_str(), b.meta.default_accesses);
+  env.csv_path.clear();
+  std::vector<SuiteTask> tasks =
+      b.tasks ? b.tasks(env) : std::vector<SuiteTask>{};
+  std::vector<std::any> results;
+  results.reserve(tasks.size());
+  for (SuiteTask& t : tasks) results.push_back(t());
+  const Table table = b.format(env, results);
+  std::string out;
+  if (b.preamble) out += b.preamble(env, results);
+  out += "=== " + b.meta.title + " ===\n" + b.meta.paper_note + "\n" +
+         table.to_ascii() + "\n";
+  if (b.epilogue) out += b.epilogue(env, results);
+  return out;
+}
+
+Config small_cli() {
+  Config cli;
+  cli.set("accesses", "400");
+  cli.set("seed", "2");
+  cli.set("nocsv", "1");
+  return cli;
+}
+
+TEST(FleetRun, MatchesLocalOutputByteForByte) {
+  Worker w1;
+  Worker w2;
+  const SuiteBench* fig08 = find_bench("fig08");
+  const SuiteBench* fig10 = find_bench("fig10");
+  const SuiteBench* ablation = find_bench("ablation_pipeline");
+  ASSERT_NE(fig08, nullptr);
+  ASSERT_NE(fig10, nullptr);
+  ASSERT_NE(ablation, nullptr);
+  // fig10 has an epilogue, ablation_pipeline a preamble, fig08 neither —
+  // every reconstruction path of the merge runs.
+  ASSERT_TRUE(static_cast<bool>(fig10->epilogue));
+  ASSERT_TRUE(static_cast<bool>(ablation->preamble));
+  const std::vector<const SuiteBench*> selected = {fig08, fig10, ablation};
+
+  const Config cli = small_cli();
+  FleetOptions opts;
+  opts.endpoints = {{"127.0.0.1", w1.server.port()},
+                    {"127.0.0.1", w2.server.port()}};
+  opts.poll_interval_ms = 2;
+
+  testing::internal::CaptureStdout();
+  const int failures = run_fleet(cli, /*smoke=*/false, selected, opts);
+  const std::string fleet_out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(failures, 0);
+
+  const std::string expected = local_stdout(*fig08, cli) +
+                               local_stdout(*fig10, cli) +
+                               local_stdout(*ablation, cli);
+  EXPECT_EQ(fleet_out, expected);
+}
+
+TEST(FleetRun, WritesCsvFilesByteIdenticalToLocal) {
+  Worker w;
+  const SuiteBench* fig08 = find_bench("fig08");
+  ASSERT_NE(fig08, nullptr);
+  const std::string csv_path = testing::TempDir() + "fleet_fig08_test.csv";
+  std::remove(csv_path.c_str());
+
+  Config cli;
+  cli.set("accesses", "400");
+  cli.set("csv", csv_path);
+
+  FleetOptions opts;
+  opts.endpoints = {{"127.0.0.1", w.server.port()}};
+  opts.poll_interval_ms = 2;
+
+  testing::internal::CaptureStdout();
+  const int failures = run_fleet(cli, /*smoke=*/false, {fig08}, opts);
+  const std::string fleet_out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(failures, 0);
+  EXPECT_NE(fleet_out.find("(rows written to " + csv_path + ")"),
+            std::string::npos);
+
+  // The file must hold exactly what the local Table::write_csv would emit.
+  BenchEnv env = make_env(cli, "fig08", fig08->meta.default_accesses);
+  std::vector<SuiteTask> tasks = fig08->tasks(env);
+  std::vector<std::any> results;
+  for (SuiteTask& t : tasks) results.push_back(t());
+  const std::string expected_csv = fig08->format(env, results).to_csv();
+
+  std::ifstream in(csv_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), expected_csv);
+  std::remove(csv_path.c_str());
+}
+
+TEST(FleetRun, UnreachableWorkerFailsEveryShardUpFront) {
+  // Grab a port the kernel just released: nothing listens there anymore.
+  std::uint16_t dead_port = 0;
+  {
+    service::HttpServer probe({}, [](const service::HttpRequest&) {
+      return service::HttpResponse{};
+    });
+    dead_port = probe.port();
+  }
+  const SuiteBench* fig08 = find_bench("fig08");
+  ASSERT_NE(fig08, nullptr);
+  FleetOptions opts;
+  opts.endpoints = {{"127.0.0.1", dead_port}};
+  opts.http_timeout_ms = 500;
+  testing::internal::CaptureStdout();
+  const int failures = run_fleet(small_cli(), false, {fig08}, opts);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(failures, 1);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace hmcc::bench

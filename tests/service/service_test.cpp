@@ -425,13 +425,18 @@ RawResponse raw_request(std::uint16_t port, const std::string& raw) {
   return out;
 }
 
+// These one-shot helpers opt out of keep-alive: raw_request reads to EOF,
+// so without "Connection: close" every call would wait out the server's
+// idle timeout. Keep-alive itself is covered in http_server_test.cpp.
 std::string get(const std::string& target) {
-  return "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  return "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n"
+         "Connection: close\r\n\r\n";
 }
 
 std::string post(const std::string& target, const std::string& body) {
   return "POST " + target + " HTTP/1.1\r\nHost: localhost\r\n"
          "Content-Type: application/json\r\n"
+         "Connection: close\r\n"
          "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
 }
 
