@@ -20,5 +20,6 @@ SuiteBench make_fig14();
 SuiteBench make_fig15();
 SuiteBench make_ablation_pipeline();
 SuiteBench make_ablation_hmc_paging();
+SuiteBench make_ablation_scheduler();
 
 }  // namespace hmcc::bench

@@ -18,6 +18,7 @@ const std::vector<SuiteBench>& suite_benches() {
       make_fig15(),
       make_ablation_pipeline(),
       make_ablation_hmc_paging(),
+      make_ablation_scheduler(),
   };
   return benches;
 }

@@ -17,11 +17,15 @@ BankAccessResult Bank::access(std::uint64_t row, std::uint32_t bytes,
   if (hit) {
     ++row_hits_;
   } else {
-    // Under open-page a different open row must first be precharged.
+    // Under open-page a different open row must first be precharged — and
+    // the precharge may not begin before the open row has been active for
+    // tRAS (the row cycle floor closed-page enforces below).
     if (!cfg_.closed_page && open_row_valid_ && open_row_ != row) {
+      t = std::max(t, open_row_act_ + cfg_.t_ras);
       t += cfg_.t_rp;
     }
-    t += cfg_.t_rcd;  // ACT
+    open_row_act_ = t;  // ACT
+    t += cfg_.t_rcd;
     ++activations_;
   }
   t += cfg_.t_cl;  // column command to first data

@@ -37,9 +37,22 @@ class Bank {
   [[nodiscard]] std::uint64_t conflicts() const noexcept { return conflicts_; }
   [[nodiscard]] Cycle busy_until() const noexcept { return busy_until_; }
 
+  /// True when an access to @p row right now would hit the open row buffer
+  /// (open-page only; closed-page auto-precharges, so never).
+  [[nodiscard]] bool would_hit(std::uint64_t row) const noexcept {
+    return !cfg_.closed_page && open_row_valid_ && open_row_ == row;
+  }
+
+  /// Cycle the currently open row was activated (open-page bookkeeping for
+  /// the tRAS floor on the next precharge).
+  [[nodiscard]] Cycle open_row_activated_at() const noexcept {
+    return open_row_act_;
+  }
+
   void reset() noexcept {
     busy_until_ = 0;
     open_row_valid_ = false;
+    open_row_act_ = 0;
     activations_ = row_hits_ = conflicts_ = 0;
   }
 
@@ -48,6 +61,7 @@ class Bank {
   Cycle busy_until_ = 0;
   std::uint64_t open_row_ = 0;
   bool open_row_valid_ = false;
+  Cycle open_row_act_ = 0;  ///< ACT cycle of the currently open row
   std::uint64_t activations_ = 0;
   std::uint64_t row_hits_ = 0;
   std::uint64_t conflicts_ = 0;

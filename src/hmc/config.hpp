@@ -13,6 +13,52 @@
 
 namespace hmcc::hmc {
 
+/// Per-vault request scheduling policy (the `sched=` knob).
+enum class SchedPolicy : std::uint8_t {
+  /// Immediate in-order service: requests pass through the vault queue in
+  /// arrival order. The default, byte-identical to the historical
+  /// queue-less controller.
+  kFcfs,
+  /// First-Ready FCFS: among queued requests that have arrived, prefer a
+  /// row-buffer hit on a ready bank, then any ready bank, then the oldest;
+  /// a starvation cap bounds how often an old request may be bypassed.
+  kFrfcfs,
+  /// Batch scheduling (PAR-BS-style): requests are grouped into admission
+  /// batches; the current batch is fully served (row-hit-first inside the
+  /// batch) before any younger request is considered.
+  kBatch,
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedPolicy p) noexcept {
+  switch (p) {
+    case SchedPolicy::kFcfs: return "fcfs";
+    case SchedPolicy::kFrfcfs: return "frfcfs";
+    case SchedPolicy::kBatch: return "batch";
+  }
+  return "?";
+}
+
+/// Intra-cube network model (the `noc=` knob).
+enum class NocModel : std::uint8_t {
+  /// Flat crossbar: every link-to-vault traversal costs xbar_latency,
+  /// uncontended. The default, byte-identical to the historical device.
+  kOff,
+  /// Quadrant hop model: requests enter on a rotating host link and pay
+  /// xbar_latency + hops * noc_hop_latency to reach the target vault's
+  /// quadrant, where hops is the hypercube distance between the two
+  /// quadrants; the destination quadrant's router port serializes packets
+  /// (link-to-vault contention) in each direction.
+  kQuadrant,
+};
+
+[[nodiscard]] constexpr const char* to_string(NocModel m) noexcept {
+  switch (m) {
+    case NocModel::kOff: return "off";
+    case NocModel::kQuadrant: return "quadrant";
+  }
+  return "?";
+}
+
 struct HmcConfig {
   /// Total cube capacity in bytes (8 GB in the paper).
   std::uint64_t capacity_bytes = 8ULL << 30;
@@ -54,8 +100,19 @@ struct HmcConfig {
   /// false = open-page (row left open, hits skip ACT).
   bool closed_page = true;
 
-  /// Per-vault request queue depth; submissions beyond it are backpressured.
+  /// Per-vault request queue depth; when the queue is full the controller
+  /// force-serves one scheduler pick before admitting the new request.
   std::uint32_t vault_queue_depth = 32;
+  /// Per-vault scheduling policy (fcfs keeps the historical immediate
+  /// in-order service; frfcfs/batch defer service through the vault queue).
+  SchedPolicy sched = SchedPolicy::kFcfs;
+  /// FR-FCFS/batch starvation cap: a queued request bypassed this many
+  /// times by younger row hits must be served next.
+  std::uint32_t sched_starve_cap = 8;
+  /// Intra-cube network model (off keeps the flat crossbar constant).
+  NocModel noc = NocModel::kOff;
+  /// Latency per quadrant-to-quadrant hop under noc=quadrant.
+  Cycle noc_hop_latency = 4;
 
   [[nodiscard]] std::uint32_t vaults_per_quadrant() const noexcept {
     return num_vaults / num_links;
@@ -73,6 +130,7 @@ struct HmcConfig {
            is_pow2(num_vaults) && is_pow2(banks_per_vault) &&
            is_pow2(row_bytes) && num_links > 0 &&
            num_vaults % num_links == 0 && row_bytes >= block_bytes &&
+           vault_queue_depth >= 1 && sched_starve_cap >= 1 &&
            capacity_bytes >=
                static_cast<std::uint64_t>(block_bytes) * num_vaults;
   }

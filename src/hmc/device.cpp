@@ -1,6 +1,7 @@
 #include "hmc/device.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <future>
 #include <string>
@@ -20,6 +21,11 @@ HmcDevice::HmcDevice(Kernel& kernel, HmcConfig cfg)
     vaults_.emplace_back(cfg_, i);
   }
   vault_depth_.assign(cfg_.num_vaults, 0);
+  noc_req_ports_.assign(cfg_.num_links, 0);
+  noc_resp_ports_.assign(cfg_.num_links, 0);
+  drain_gen_.assign(cfg_.num_vaults, 0);
+  drain_at_.assign(cfg_.num_vaults, 0);
+  drain_armed_.assign(cfg_.num_vaults, 0);
 }
 
 void HmcDevice::enable_vault_parallel(Cycle bound, unsigned threads) {
@@ -32,13 +38,47 @@ void HmcDevice::enable_vault_parallel(Cycle bound, unsigned threads) {
   if (!lane_pool_) lane_pool_ = std::make_unique<ThreadPool>(threads);
 }
 
+Cycle HmcDevice::noc_traverse(std::vector<Cycle>& ports, std::uint32_t from_q,
+                              std::uint32_t to_q, std::uint32_t flits,
+                              Cycle enter) {
+  // Quadrants sit on a hypercube over their ids (exact 2x2 Manhattan grid
+  // for the 4-link cube): distance is the XOR popcount.
+  const auto hops =
+      static_cast<Cycle>(std::popcount(from_q ^ to_q));
+  const Cycle at = enter + cfg_.xbar_latency + hops * cfg_.noc_hop_latency;
+  Cycle& port = ports[to_q];
+  const Cycle start = std::max(at, port);
+  if (start > at) ++noc_contended_;
+  port = start + static_cast<Cycle>(flits) * cfg_.cycles_per_flit;
+  noc_hops_ += hops;
+  return port;
+}
+
+Cycle HmcDevice::response_at_link(std::uint32_t link_idx,
+                                  std::uint32_t vault_quadrant,
+                                  std::uint32_t flits, Cycle data_ready) {
+  if (cfg_.noc == NocModel::kQuadrant) {
+    return noc_traverse(noc_resp_ports_, vault_quadrant, link_idx, flits,
+                        data_ready) +
+           cfg_.serdes_latency;
+  }
+  // Flat return path: crossbar + SerDes.
+  return data_ready + cfg_.xbar_latency + cfg_.serdes_latency;
+}
+
 void HmcDevice::submit(const RequestPacket& pkt,
                        ResponseCallback on_response) {
   const DecodedAddr d = map_.decode(pkt.addr);
   assert(d.offset + pkt.data_bytes() <= cfg_.block_bytes &&
          "HMC request must not cross a block boundary");
 
-  const std::uint32_t link_idx = d.vault / cfg_.vaults_per_quadrant();
+  const std::uint32_t vault_quadrant = d.vault / cfg_.vaults_per_quadrant();
+  // Under the flat crossbar the host always enters on the vault's home
+  // link; under the quadrant NoC the host rotates across its links and the
+  // request traverses the intra-cube network to the target quadrant.
+  const std::uint32_t link_idx = cfg_.noc == NocModel::kQuadrant
+                                     ? next_host_link_++ % cfg_.num_links
+                                     : vault_quadrant;
   Link& link = links_[link_idx];
 
   // Wire accounting happens at submission: the whole transaction's FLITs are
@@ -55,16 +95,49 @@ void HmcDevice::submit(const RequestPacket& pkt,
   ++vault_depth_[d.vault];
 
   const Cycle now = kernel_.now();
-  // Request channel serialization, then SerDes + crossbar to the vault.
+  // Request channel serialization, then SerDes + crossbar/NoC to the vault.
   const Cycle req_done = link.send_request(pkt.request_flits(), now);
   const Cycle vault_arrival =
-      req_done + cfg_.serdes_latency + cfg_.xbar_latency;
+      cfg_.noc == NocModel::kQuadrant
+          ? noc_traverse(noc_req_ports_, link_idx, vault_quadrant,
+                         pkt.request_flits(), req_done + cfg_.serdes_latency)
+          : req_done + cfg_.serdes_latency + cfg_.xbar_latency;
 
   ResponsePacket resp{};
   resp.id = pkt.id;
   resp.cmd = pkt.cmd;
   resp.addr = pkt.addr;
   resp.submitted_at = now;
+
+  if (deferred_sched()) {
+    // FR-FCFS / batch: admit into the vault queue; a per-vault drain event
+    // serves policy picks at their decision cycles.
+    Vault& vault = vaults_[d.vault];
+    if (vault.full()) {
+      // Overflow: force one pick out of the queue to make room. Its
+      // decision cycle is the queue's natural next_ready(), which may lie
+      // ahead of now — the timing math is pure and the completion still
+      // lands in the future.
+      finish_deferred(d.vault,
+                      vault.serve_next(std::max(now, vault.next_ready())));
+    }
+    std::uint64_t token;
+    if (!free_ctx_.empty()) {
+      token = free_ctx_.back();
+      free_ctx_.pop_back();
+    } else {
+      pending_.emplace_back();
+      token = pending_.size();  // slab index + 1
+    }
+    PendingCtx& ctx = pending_[token - 1];
+    ctx.link_idx = link_idx;
+    ctx.resp_flits = pkt.response_flits();
+    ctx.resp = resp;
+    ctx.cb = std::move(on_response);
+    vault.enqueue(d, pkt.data_bytes(), vault_arrival, token);
+    pump_vault(d.vault);
+    return;
+  }
 
   if (use_weave()) {
     if (vault_arrival > now) {
@@ -92,18 +165,60 @@ void HmcDevice::submit(const RequestPacket& pkt,
 
   const VaultServiceResult served =
       vaults_[d.vault].serve(d, pkt.data_bytes(), vault_arrival);
-  // Return path: crossbar + SerDes, then response channel serialization.
-  const Cycle resp_at_link =
-      served.data_ready + cfg_.xbar_latency + cfg_.serdes_latency;
+  const Cycle resp_at_link = response_at_link(
+      link_idx, vault_quadrant, pkt.response_flits(), served.data_ready);
   const Cycle completed = link.send_response(pkt.response_flits(), resp_at_link);
   resp.completed_at = completed;
   commit(completed, 0, d.vault, resp, std::move(on_response));
 }
 
+void HmcDevice::pump_vault(std::uint32_t vault_idx) {
+  Vault& vault = vaults_[vault_idx];
+  // Serve every pick whose decision cycle has come. After each serve the
+  // controller pipeline occupies vault_ctrl_latency cycles, so next_ready()
+  // advances and the loop terminates.
+  while (!vault.queue_empty() && vault.next_ready() <= kernel_.now()) {
+    finish_deferred(vault_idx, vault.serve_next(kernel_.now()));
+  }
+  if (vault.queue_empty()) return;
+  const Cycle t = vault.next_ready();  // > now: the loop above drained to it
+  if (drain_armed_[vault_idx] != 0 && drain_at_[vault_idx] <= t) return;
+  const std::uint64_t gen = ++drain_gen_[vault_idx];
+  drain_armed_[vault_idx] = 1;
+  drain_at_[vault_idx] = t;
+  kernel_.schedule_at(t, [this, vault_idx, gen] {
+    if (gen != drain_gen_[vault_idx]) return;  // superseded by a reschedule
+    drain_armed_[vault_idx] = 0;
+    pump_vault(vault_idx);
+  });
+}
+
+void HmcDevice::finish_deferred(std::uint32_t vault_idx,
+                                const VaultServed& served) {
+  assert(served.token != 0);
+  PendingCtx& ctx = pending_[served.token - 1];
+  const std::uint32_t vault_quadrant =
+      vault_idx / cfg_.vaults_per_quadrant();
+  const Cycle resp_at_link = response_at_link(
+      ctx.link_idx, vault_quadrant, ctx.resp_flits, served.result.data_ready);
+  const Cycle completed =
+      links_[ctx.link_idx].send_response(ctx.resp_flits, resp_at_link);
+  ctx.resp.completed_at = completed;
+  commit(completed, 0, vault_idx, ctx.resp, std::move(ctx.cb));
+  ctx.cb = nullptr;
+  free_ctx_.push_back(served.token);
+}
+
 void HmcDevice::arm_weave(Cycle arrival) {
+  assert(arrival > kernel_.now() && "staged arrivals lie strictly ahead");
   // Fire before the earliest staged arrival so lane service never races a
-  // submission, and within bound_ cycles so staging stays bounded.
-  const Cycle deadline = std::min(kernel_.now() + bound_, arrival - 1);
+  // submission, and within bound_ cycles so staging stays bounded. Clamped
+  // to >= now: with arrival == now + 1 the deadline lands at now (fires
+  // later this very cycle, still before the arrival), and the subtraction
+  // can never underflow even if the invariant above is violated in a
+  // release build.
+  const Cycle deadline = std::max(
+      kernel_.now(), std::min(kernel_.now() + bound_, arrival - 1));
   if (weave_armed_ && weave_at_ <= deadline) return;
   weave_armed_ = true;
   weave_at_ = deadline;
@@ -151,12 +266,15 @@ void HmcDevice::flush_lanes() {
   for (const std::uint32_t v : active_vaults_) lane_index_[v].clear();
 
   // Weave phase: serial commit in submission order. The response channel of
-  // each link advances through the same call sequence as the serial path,
-  // and every completion files under the sequence number reserved at
-  // submit, so same-cycle firing order is preserved exactly.
+  // each link (and the NoC response ports) advances through the same call
+  // sequence as the serial path, and every completion files under the
+  // sequence number reserved at submit, so same-cycle firing order is
+  // preserved exactly.
   for (LaneJob& job : staged_) {
-    const Cycle resp_at_link =
-        job.served.data_ready + cfg_.xbar_latency + cfg_.serdes_latency;
+    const std::uint32_t vault_quadrant =
+        job.d.vault / cfg_.vaults_per_quadrant();
+    const Cycle resp_at_link = response_at_link(
+        job.link_idx, vault_quadrant, job.resp_flits, job.served.data_ready);
     const Cycle completed =
         links_[job.link_idx].send_response(job.resp_flits, resp_at_link);
     job.resp.completed_at = completed;
@@ -186,7 +304,11 @@ HmcStats HmcDevice::stats() const {
     s.bank_conflicts += v.bank_conflicts();
     s.row_activations += v.row_activations();
     s.row_hits += v.row_hits();
+    s.sched_row_hit_picks += v.sched_row_hit_picks();
+    s.sched_starved_serves += v.sched_starved_serves();
   }
+  s.noc_hops = noc_hops_;
+  s.noc_contended = noc_contended_;
   return s;
 }
 
@@ -195,6 +317,19 @@ void HmcDevice::reset_stats() {
   wire_ = HmcStats{};
   for (Vault& v : vaults_) v.reset();
   for (Link& l : links_) l.reset();
+  std::fill(noc_req_ports_.begin(), noc_req_ports_.end(), 0);
+  std::fill(noc_resp_ports_.begin(), noc_resp_ports_.end(), 0);
+  noc_hops_ = 0;
+  noc_contended_ = 0;
+  next_host_link_ = 0;
+  // Deferred drains: queued entries were cleared with their vaults, so
+  // invalidate any armed drain events and drop their response contexts.
+  for (std::uint32_t v = 0; v < cfg_.num_vaults; ++v) {
+    ++drain_gen_[v];
+    drain_armed_[v] = 0;
+  }
+  pending_.clear();
+  free_ctx_.clear();
 }
 
 void HmcDevice::set_trace(obs::TraceWriter* trace) noexcept {
@@ -223,6 +358,12 @@ desc::StatSet HmcDevice::stat_descriptors() const {
                [this] { return stats().row_activations; })
       .counter("hmcc_hmc_row_hits_total", "Accesses served from an open row",
                [this] { return stats().row_hits; })
+      .counter("hmcc_hmc_noc_hops_total",
+               "Quadrant hops traversed (noc=quadrant)",
+               [this] { return noc_hops_; })
+      .counter("hmcc_hmc_noc_contended_total",
+               "NoC traversals delayed at a busy router port",
+               [this] { return noc_contended_; })
       .gauge("hmcc_hmc_bandwidth_efficiency",
              "Requested / transferred bytes (paper Eq. 1)",
              [this] { return stats().bandwidth_efficiency(); })
@@ -241,6 +382,12 @@ desc::StatSet HmcDevice::stat_descriptors() const {
                  [&v] { return v.row_activations(); }, labels)
         .counter("hmcc_hmc_vault_row_hits_total", "Row hits per vault",
                  [&v] { return v.row_hits(); }, labels)
+        .counter("hmcc_hmc_vault_sched_row_hit_picks_total",
+                 "Scheduler picks that targeted an open row",
+                 [&v] { return v.sched_row_hit_picks(); }, labels)
+        .counter("hmcc_hmc_vault_sched_starved_serves_total",
+                 "Serves forced by the FR-FCFS starvation cap",
+                 [&v] { return v.sched_starved_serves(); }, labels)
         .sampled_gauge(
             "hmcc_hmc_vault_queue_depth",
             "In-flight transactions per vault at sample time",
@@ -248,7 +395,12 @@ desc::StatSet HmcDevice::stat_descriptors() const {
             [this, i = v.index()] {
               return static_cast<double>(vault_depth_[i]);
             },
-            labels);
+            labels)
+        .sampled_gauge(
+            "hmcc_hmc_vault_sched_queue_len",
+            "Requests waiting in the vault scheduler queue at sample time",
+            {0, 1, 2, 4, 8, 16, 32},
+            [&v] { return static_cast<double>(v.queue_size()); }, labels);
   }
   return set;
 }

@@ -2,18 +2,33 @@
 //
 // Public API: submit() a RequestPacket and receive a ResponsePacket via
 // callback when the transaction's last response FLIT arrives.  Internally the
-// device routes packets link -> crossbar -> vault -> bank and back, with FCFS
-// ordering per channel/vault, and aggregates the bandwidth statistics the
-// paper's Figures 1, 9 and 11 are built from.
+// device routes packets link -> crossbar/NoC -> vault -> bank and back and
+// aggregates the bandwidth statistics the paper's Figures 1, 9 and 11 are
+// built from.
 //
-// Execution modes: by default every transaction is served synchronously at
-// submit() time (the vault/bank timing math runs inline and only the
-// completion callback is deferred through the kernel).  With
-// enable_vault_parallel() the device switches to bound-weave execution:
-// submissions are staged into per-vault lanes, a thread pool advances the
-// vault/bank state machines for all lanes concurrently, and a serial weave
-// phase commits completions in the exact (cycle, seq) order the serial
-// schedule would have produced — see DESIGN.md §11 for the invariants.
+// Vault scheduling: every request is admitted to its vault's bounded queue
+// and leaves it through the configured policy (cfg.sched). Under FCFS (the
+// default) admission and service coincide — the vault/bank timing math runs
+// inline at submit() and only the completion callback is deferred through
+// the kernel, exactly the historical behavior. Under FR-FCFS/batch the
+// device defers draining: a per-vault kernel event fires at the queue's
+// next_ready() cycle and serves one policy pick per controller slot, so the
+// policy sees every request that has arrived by the decision cycle.
+//
+// NoC: with cfg.noc == kQuadrant the flat crossbar constant is replaced by
+// a quadrant hop model — requests enter on a rotating host link and pay
+// xbar_latency + hops * noc_hop_latency to the vault's quadrant, whose
+// ingress router port serializes packets per direction (link-to-vault
+// contention). kOff keeps the historical flat constant.
+//
+// Execution modes: with enable_vault_parallel() the device switches to
+// bound-weave execution: submissions are staged into per-vault lanes, a
+// thread pool advances the vault/bank state machines for all lanes
+// concurrently, and a serial weave phase commits completions in the exact
+// (cycle, seq) order the serial schedule would have produced — see
+// DESIGN.md §11 for the invariants. Weave staging requires the FCFS policy
+// (deferred policies schedule their own drain events, which lane threads
+// must not); with sched != fcfs the device transparently stays serial.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +63,10 @@ struct HmcStats {
   std::uint64_t bank_conflicts = 0;
   std::uint64_t row_activations = 0;
   std::uint64_t row_hits = 0;
+  std::uint64_t noc_hops = 0;       ///< quadrant hops traversed (noc=quadrant)
+  std::uint64_t noc_contended = 0;  ///< traversals delayed at a router port
+  std::uint64_t sched_row_hit_picks = 0;  ///< policy picks that hit open rows
+  std::uint64_t sched_starved_serves = 0;  ///< picks forced by the starve cap
   Accumulator latency;  ///< end-to-end transaction latency, cycles
 
   /// The paper's Equation (1): requested / transferred.
@@ -77,8 +96,10 @@ class HmcDevice {
   /// serves all lanes — @p threads pool workers, 0 = hardware concurrency —
   /// and commits completions under kernel sequence numbers reserved at
   /// submission, so every observable result is byte-identical to the serial
-  /// mode. While a trace writer is attached the device falls back to the
-  /// serial path (trace spans must be emitted in global submit order).
+  /// mode. While a trace writer is attached, or while a deferred scheduling
+  /// policy (sched != fcfs) is configured, the device falls back to the
+  /// serial path (trace spans must be emitted in global submit order;
+  /// deferred drains schedule kernel events lane threads may not touch).
   void enable_vault_parallel(Cycle bound, unsigned threads = 0);
 
   /// Serve and commit every staged lane job immediately. The System calls
@@ -114,10 +135,11 @@ class HmcDevice {
 
   /// The device's metric schema: wire counters (`hmcc_hmc_*`: reads/writes,
   /// payload vs transferred bytes, bank conflicts, row activations/hits,
-  /// bandwidth efficiency, mean latency) plus per-vault labeled families
-  /// (`hmcc_hmc_vault_*{vault="N"}`), including the sampled queue-depth
-  /// gauge. Sample functions read live state: the device must outlive the
-  /// returned set.
+  /// NoC hops/contention, bandwidth efficiency, mean latency) plus
+  /// per-vault labeled families (`hmcc_hmc_vault_*{vault="N"}`) including
+  /// the in-flight and scheduler queue-depth sampled gauges and per-policy
+  /// row-hit-pick / starved-serve counters. Sample functions read live
+  /// state: the device must outlive the returned set.
   [[nodiscard]] desc::StatSet stat_descriptors() const;
 
  private:
@@ -136,13 +158,46 @@ class HmcDevice {
     ResponseCallback cb;
   };
 
+  /// Response context of one deferred (queued) transaction, held from
+  /// admission to service. Slab-allocated; VaultRequest::token is
+  /// slab index + 1 (0 = no context, the pass-through path).
+  struct PendingCtx {
+    std::uint32_t link_idx = 0;
+    std::uint32_t resp_flits = 0;
+    ResponsePacket resp{};
+    ResponseCallback cb;
+  };
+
   [[nodiscard]] bool use_weave() const noexcept {
-    return weave_enabled_ && trace_ == nullptr;
+    return weave_enabled_ && trace_ == nullptr &&
+           cfg_.sched == SchedPolicy::kFcfs;
   }
+  [[nodiscard]] bool deferred_sched() const noexcept {
+    return cfg_.sched != SchedPolicy::kFcfs;
+  }
+
+  /// NoC traversal @p from_q -> @p to_q entering at @p enter: hop latency
+  /// plus serialization at the destination quadrant's router port (one port
+  /// array per direction). Returns the cycle the last FLIT arrives.
+  Cycle noc_traverse(std::vector<Cycle>& ports, std::uint32_t from_q,
+                     std::uint32_t to_q, std::uint32_t flits, Cycle enter);
+
+  /// Link-side arrival cycle of a response whose payload is ready at the
+  /// vault edge at @p data_ready (crossbar or NoC, then SerDes).
+  Cycle response_at_link(std::uint32_t link_idx, std::uint32_t vault_quadrant,
+                         std::uint32_t flits, Cycle data_ready);
 
   /// (Re)schedule the weave event so it fires before @p arrival (the vault
   /// timestamp of the job just staged) and within bound_ cycles of now.
   void arm_weave(Cycle arrival);
+
+  /// Deferred drain: serve policy picks while the vault is ready, then arm
+  /// a kernel event at the queue's next_ready() cycle (per-vault generation
+  /// counter invalidates superseded events).
+  void pump_vault(std::uint32_t vault_idx);
+
+  /// Route a served deferred entry's response and schedule its completion.
+  void finish_deferred(std::uint32_t vault_idx, const VaultServed& served);
 
   /// Schedule the completion event for a served transaction. @p seq = 0
   /// takes the plain schedule_at path (serial mode); a nonzero seq files
@@ -160,6 +215,20 @@ class HmcDevice {
   std::vector<std::uint64_t> vault_depth_;
   std::uint8_t next_tag_ = 0;
   obs::TraceWriter* trace_ = nullptr;
+
+  // --- NoC state (inert under noc=off) ---
+  std::vector<Cycle> noc_req_ports_;   ///< per-quadrant ingress busy-until
+  std::vector<Cycle> noc_resp_ports_;  ///< per-quadrant egress busy-until
+  std::uint64_t noc_hops_ = 0;
+  std::uint64_t noc_contended_ = 0;
+  std::uint32_t next_host_link_ = 0;  ///< rotating entry link (noc=quadrant)
+
+  // --- deferred-scheduling state (inert under sched=fcfs) ---
+  std::vector<PendingCtx> pending_;
+  std::vector<std::uint64_t> free_ctx_;  ///< reusable pending_ tokens
+  std::vector<std::uint64_t> drain_gen_;
+  std::vector<Cycle> drain_at_;
+  std::vector<std::uint8_t> drain_armed_;
 
   // --- bound-weave state (inert in serial mode) ---
   bool weave_enabled_ = false;

@@ -1,19 +1,27 @@
-// Vault controller: one per vault, owning the vault's DRAM banks.
+// Vault controller: one per vault, owning the vault's DRAM banks and a
+// bounded request queue drained by a pluggable scheduling policy.
 //
-// The controller accepts packets in arrival order (FCFS), occupies its
-// command pipeline for a fixed number of cycles per request, and dispatches
-// to the target bank.  Bank-level parallelism is preserved: the controller
-// moves on as soon as a request is handed to its bank, so only same-bank
-// requests serialize on DRAM timing (bank conflicts).
+// Every request enters the queue and leaves it through the policy's pick —
+// there is no second service path. Under the default FCFS policy the device
+// serves each request the moment it is admitted (push, pick, pop), which
+// computes exactly the numbers the historical queue-less controller did, so
+// default output is byte-identical; under FR-FCFS/batch the device defers
+// draining to the request's decision cycle (serve_next) and the policy may
+// reorder within the queue. The controller occupies its command pipeline
+// for a fixed number of cycles per request and dispatches to the target
+// bank; bank-level parallelism is preserved (only same-bank requests
+// serialize on DRAM timing).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
 #include "hmc/address_map.hpp"
 #include "hmc/bank.hpp"
 #include "hmc/config.hpp"
+#include "hmc/scheduler.hpp"
 
 namespace hmcc::obs {
 class TraceWriter;
@@ -27,15 +35,51 @@ struct VaultServiceResult {
   bool bank_conflict;
 };
 
+/// serve_next() result: the service timing plus the device-side response
+/// handle of the entry the policy picked.
+struct VaultServed {
+  std::uint64_t token = 0;
+  VaultServiceResult result{};
+};
+
 class Vault {
  public:
   Vault(const HmcConfig& cfg, std::uint32_t index)
-      : cfg_(cfg), index_(index), banks_(cfg.banks_per_vault, Bank(cfg)) {}
+      : cfg_(cfg),
+        index_(index),
+        banks_(cfg.banks_per_vault, Bank(cfg)),
+        scheduler_(make_vault_scheduler(cfg)) {}
 
-  /// Serve a request whose decoded address targets this vault, arriving at
-  /// cycle @p arrival. Must be called in nondecreasing arrival order.
+  /// FCFS pass-through: admit the request and serve it immediately through
+  /// the queue + policy pick. Must be called in nondecreasing arrival
+  /// order; computes the identical timing the historical immediate-service
+  /// controller did.
   VaultServiceResult serve(const DecodedAddr& d, std::uint32_t bytes,
                            Cycle arrival);
+
+  // --- deferred scheduling interface (FR-FCFS / batch policies) ----------
+
+  /// Admit a request into the bounded queue. The caller must check full()
+  /// first (and force a serve_next when it is).
+  void enqueue(const DecodedAddr& d, std::uint32_t bytes, Cycle arrival,
+               std::uint64_t token);
+
+  /// Earliest cycle a service decision can be made: the controller pipeline
+  /// free AND at least one queued request arrived. Queue must be nonempty.
+  [[nodiscard]] Cycle next_ready() const;
+
+  /// Pick (policy) and serve one queued entry at decision cycle @p now.
+  /// Queue must be nonempty; @p now must be >= next_ready() for natural
+  /// drains (forced overflow serves may pass next_ready() itself).
+  VaultServed serve_next(Cycle now);
+
+  [[nodiscard]] bool queue_empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] bool full() const noexcept {
+    return queue_.size() >= cfg_.vault_queue_depth;
+  }
+  [[nodiscard]] std::size_t queue_size() const noexcept {
+    return queue_.size();
+  }
 
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
@@ -44,6 +88,14 @@ class Vault {
   [[nodiscard]] std::uint64_t bank_conflicts() const noexcept;
   [[nodiscard]] std::uint64_t row_activations() const noexcept;
   [[nodiscard]] std::uint64_t row_hits() const noexcept;
+  /// Picks that targeted an open row (policy reordering payoff).
+  [[nodiscard]] std::uint64_t sched_row_hit_picks() const noexcept {
+    return sched_row_hits_;
+  }
+  /// Serves forced by the FR-FCFS starvation cap.
+  [[nodiscard]] std::uint64_t sched_starved_serves() const noexcept {
+    return sched_starved_;
+  }
 
   /// Attach a chrome-trace writer (nullptr detaches). While attached, every
   /// bank access emits a row-buffer state-transition span (row_open /
@@ -54,11 +106,20 @@ class Vault {
   void reset();
 
  private:
+  /// Occupy the controller pipeline and dispatch @p r to its bank; the one
+  /// place service timing is computed, shared by both drain paths.
+  VaultServiceResult serve_entry(const VaultRequest& r);
+
   HmcConfig cfg_;  // by value: see Bank
   std::uint32_t index_;
   std::vector<Bank> banks_;
+  std::unique_ptr<VaultScheduler> scheduler_;
+  std::vector<VaultRequest> queue_;
+  std::uint64_t next_order_ = 0;
   Cycle ctrl_free_ = 0;
   std::uint64_t served_ = 0;
+  std::uint64_t sched_row_hits_ = 0;
+  std::uint64_t sched_starved_ = 0;
   obs::TraceWriter* trace_ = nullptr;
 };
 

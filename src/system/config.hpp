@@ -1,6 +1,8 @@
 // Full-system configuration (paper §5.2 platform).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -115,7 +117,20 @@ struct SystemConfig {
       h.t_column_burst * static_cast<Cycle>(c.max_packet_bytes / 32);
   const Cycle coalescer_window =
       c.timeout + 4 * c.tau * static_cast<Cycle>(c.window);
-  return link_round_trip + dram_row_cycle + coalescer_window;
+  // Quadrant NoC worst case: the maximum hop distance is the bit width of
+  // the largest quadrant id, paid in both directions (zero-cost under
+  // noc=off since the default hop latency only matters when enabled, but
+  // the slack is cheap so it is always budgeted).
+  const Cycle noc_hops_worst = static_cast<Cycle>(
+      std::bit_width(std::max(h.num_links, 1u) - 1));
+  const Cycle noc_round_trip = 2 * noc_hops_worst * h.noc_hop_latency;
+  // Deferred vault scheduling: a drain event fires at the queue's
+  // next_ready(), at most one controller slot per queued entry beyond the
+  // timings above.
+  const Cycle sched_drain =
+      static_cast<Cycle>(h.vault_queue_depth) * h.vault_ctrl_latency;
+  return link_round_trip + dram_row_cycle + coalescer_window +
+         noc_round_trip + sched_drain;
 }
 
 /// Derive the coalescer flag set for @p mode (leaves other knobs intact).

@@ -198,6 +198,51 @@ std::vector<Knob<SystemConfig>> build_platform_knobs() {
         [](const SystemConfig& c) { return c.hmc.cycles_per_flit; },
         [](SystemConfig& c, std::uint64_t v) { c.hmc.cycles_per_flit = v; }));
 
+  // Vault scheduling and intra-cube NoC. The defaults (sched=fcfs, noc=off)
+  // are byte-identical to the historical immediate-service controller and
+  // flat crossbar; CI's byte-identity gate pins that.
+  t.push_back(desc::enum_knob<SystemConfig>(
+      "sched", "platform", "vault scheduling policy: fcfs|frfcfs|batch",
+      {"fcfs", "frfcfs", "batch"},
+      [](const SystemConfig& c) {
+        return std::string(hmc::to_string(c.hmc.sched));
+      },
+      [](SystemConfig& c, const std::string& v) {
+        if (v == "frfcfs") {
+          c.hmc.sched = hmc::SchedPolicy::kFrfcfs;
+        } else if (v == "batch") {
+          c.hmc.sched = hmc::SchedPolicy::kBatch;
+        } else {
+          c.hmc.sched = hmc::SchedPolicy::kFcfs;
+        }
+      }));
+  t.push_back(u("vault_queue", "per-vault scheduler queue depth", 1, 4096,
+                [](const SystemConfig& c) { return c.hmc.vault_queue_depth; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.hmc.vault_queue_depth = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(
+      u("starve_cap", "FR-FCFS starvation cap (bypasses before forced serve)",
+        1, 1u << 20,
+        [](const SystemConfig& c) { return c.hmc.sched_starve_cap; },
+        [](SystemConfig& c, std::uint64_t v) {
+          c.hmc.sched_starve_cap = static_cast<std::uint32_t>(v);
+        }));
+  t.push_back(desc::enum_knob<SystemConfig>(
+      "noc", "platform", "intra-HMC network model: off|quadrant",
+      {"off", "quadrant"},
+      [](const SystemConfig& c) {
+        return std::string(hmc::to_string(c.hmc.noc));
+      },
+      [](SystemConfig& c, const std::string& v) {
+        c.hmc.noc =
+            v == "quadrant" ? hmc::NocModel::kQuadrant : hmc::NocModel::kOff;
+      }));
+  t.push_back(
+      u("noc_hop", "NoC latency per quadrant hop (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.hmc.noc_hop_latency; },
+        [](SystemConfig& c, std::uint64_t v) { c.hmc.noc_hop_latency = v; }));
+
   // Datapath mode ("full" accepted as a legacy alias of "coalescer").
   t.push_back(desc::enum_knob<SystemConfig>(
       "mode", "platform", "datapath: none|conventional|dmc-only|coalescer",

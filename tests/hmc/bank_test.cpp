@@ -79,6 +79,51 @@ TEST(Bank, OpenPageRowMissPaysPrecharge) {
                                2 * cfg.t_column_burst);
 }
 
+TEST(Bank, OpenPageConflictHonorsRasBeforePrecharge) {
+  // Regression: the open-page row-conflict path used to start the precharge
+  // the moment the bank was free, even if the victim row had not yet been
+  // active for tRAS. With a tRAS larger than one access's occupancy the
+  // precharge must wait for activation + tRAS.
+  HmcConfig cfg = cfg_open();
+  cfg.t_ras = 400;  // default access occupancy is ~110 cycles, so tRAS binds
+  Bank bank(cfg);
+  const BankAccessResult r1 = bank.access(3, 64, 0);
+  ASSERT_LT(r1.bank_free, cfg.t_ras);  // the scenario under test
+  const BankAccessResult r2 = bank.access(4, 64, r1.bank_free);
+  // Row 3 was activated at cycle 0: precharge may not start before tRAS,
+  // then PRE + ACT + CAS + burst.
+  EXPECT_EQ(r2.data_ready, cfg.t_ras + cfg.t_rp + cfg.t_rcd + cfg.t_cl +
+                               2 * cfg.t_column_burst);
+}
+
+TEST(Bank, OpenPageConflictRasAnchorsToLatestActivation) {
+  // The tRAS floor tracks the CURRENT open row's activation, not the first:
+  // after a conflict re-activates at a later cycle, the next conflict's
+  // precharge floor moves with it.
+  HmcConfig cfg = cfg_open();
+  cfg.t_ras = 400;
+  Bank bank(cfg);
+  bank.access(3, 64, 0);                                  // ACT row 3 @ 0
+  const BankAccessResult r2 = bank.access(4, 64, 50);     // ACT row 4 later
+  const Cycle act2 = cfg.t_ras + cfg.t_rp;                // row 4's ACT cycle
+  const BankAccessResult r3 = bank.access(5, 64, r2.bank_free);
+  EXPECT_EQ(r3.data_ready, act2 + cfg.t_ras + cfg.t_rp + cfg.t_rcd +
+                               cfg.t_cl + 2 * cfg.t_column_burst);
+}
+
+TEST(Bank, OpenPageConflictUnchangedWhenRasAlreadyElapsed) {
+  // When the victim row has been open far longer than tRAS the floor never
+  // binds and the conflict pays exactly PRE + ACT + CAS + burst — the
+  // pre-fix timing, which the default configuration always hits.
+  const HmcConfig cfg = cfg_open();
+  Bank bank(cfg);
+  bank.access(3, 64, 0);
+  const Cycle late = 10 * cfg.t_ras;
+  const BankAccessResult r = bank.access(4, 64, late);
+  EXPECT_EQ(r.data_ready, late + cfg.t_rp + cfg.t_rcd + cfg.t_cl +
+                              2 * cfg.t_column_burst);
+}
+
 TEST(Bank, LargerPayloadStreamsMoreColumns) {
   const HmcConfig cfg = cfg_closed();
   Bank b64(cfg);
