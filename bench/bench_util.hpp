@@ -28,6 +28,7 @@
 #include "system/config_bridge.hpp"
 #include "system/runner.hpp"
 #include "system/sweep_runner.hpp"
+#include "workloads/warp.hpp"
 #include "workloads/workload.hpp"
 
 namespace hmcc::bench {
@@ -79,6 +80,19 @@ inline const std::vector<desc::Knob<BenchEnv>>& bench_knobs() {
     t[1].meta.default_value = "1";
     t[2].meta.default_value = "<bench>.csv";
     t[3].meta.default_value = "0";
+    // The warp front-end's canonical table (workloads/warp.hpp), re-targeted
+    // at BenchEnv so warps=/warp_width=/lanes=/max_outstanding_warps= flow
+    // through the same metadata, typo-warning and daemon paths as the rest.
+    for (const desc::Knob<workloads::WarpParams>& wk :
+         workloads::warp_knobs()) {
+      desc::Knob<BenchEnv> k;
+      k.meta = wk.meta;
+      k.apply = [&wk](BenchEnv& e, const std::string& raw) {
+        return wk.apply(e.params.warp, raw);
+      };
+      k.read = [&wk](const BenchEnv& e) { return wk.read(e.params.warp); };
+      t.push_back(std::move(k));
+    }
     return t;
   }();
   return table;

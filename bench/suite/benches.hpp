@@ -21,5 +21,6 @@ SuiteBench make_fig15();
 SuiteBench make_ablation_pipeline();
 SuiteBench make_ablation_hmc_paging();
 SuiteBench make_ablation_scheduler();
+SuiteBench make_ablation_warp();
 
 }  // namespace hmcc::bench

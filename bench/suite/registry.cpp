@@ -19,6 +19,7 @@ const std::vector<SuiteBench>& suite_benches() {
       make_ablation_pipeline(),
       make_ablation_hmc_paging(),
       make_ablation_scheduler(),
+      make_ablation_warp(),
   };
   return benches;
 }

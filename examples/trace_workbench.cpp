@@ -3,51 +3,86 @@
 //
 // Usage:
 //   trace_workbench cmd=profile workload=hpcg [accesses=20000] [seed=1]
-//   trace_workbench cmd=save    workload=ft file=ft.trace
-//   trace_workbench cmd=run     file=ft.trace [mode=coalescer]
+//   trace_workbench cmd=save    workload=ft file=ft.hmct
+//   trace_workbench cmd=run     file=ft.hmct [mode=coalescer]
 //   trace_workbench cmd=run     workload=lu  [mode=conventional]
+//
+// cmd=save writes the versioned .hmct corpus format (src/trace/codec.hpp);
+// file= / trace_replay= read both .hmct and the legacy flat v1 layout. The
+// platform knobs trace_record=PATH / trace_replay=PATH work here exactly as
+// in the benches, so a recorded corpus file replays byte-identically:
+//
+//   trace_workbench cmd=run workload=warp_gups trace_record=g.hmct csv=a.csv
+//   trace_workbench cmd=run trace_replay=g.hmct csv=b.csv   # a.csv == b.csv
 //
 // With metrics=1 [sample_interval=N] metrics_out=PATH, cmd=run writes the
 // run's full Prometheus registry (including the mid-run occupancy samples)
-// to PATH after the simulation drains.
+// to PATH after the simulation drains. csv=PATH mirrors the stdout result
+// table into a machine-readable CSV (the record/replay CI gate diffs it).
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "system/config_bridge.hpp"
 #include "system/runner.hpp"
+#include "trace/codec.hpp"
 #include "trace/trace.hpp"
+#include "workloads/warp.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
 
 using namespace hmcc;
 
-trace::MultiTrace obtain_trace(const Config& cli, std::uint32_t num_cores,
-                               bool* ok) {
+bool load_any(trace::MultiTrace& mt, const std::string& path) {
+  const trace::CodecResult res = trace::read_file(mt, path);
+  if (!res.ok()) {
+    std::fprintf(stderr, "failed to load trace '%s': %s (%s)\n", path.c_str(),
+                 trace::to_string(res.status), res.detail.c_str());
+    return false;
+  }
+  return true;
+}
+
+trace::MultiTrace obtain_trace(const Config& cli,
+                               const system::SystemConfig& cfg, bool* ok) {
   *ok = true;
+  const std::string replay = cfg.trace_io.replay_path;
   const std::string file = cli.get_string("file", "");
   const std::string workload = cli.get_string("workload", "");
-  if (!file.empty() && workload.empty()) {
-    trace::MultiTrace mt;
-    if (!trace::load(mt, file)) {
-      std::fprintf(stderr, "failed to load trace '%s'\n", file.c_str());
+  trace::MultiTrace mt;
+  if (!replay.empty()) {
+    *ok = load_any(mt, replay);
+  } else if (!file.empty() && workload.empty()) {
+    *ok = load_any(mt, file);
+  } else {
+    auto gen =
+        workloads::make_workload(workload.empty() ? "stream" : workload);
+    if (!gen) {
+      std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+      *ok = false;
+      return {};
+    }
+    workloads::WorkloadParams params;
+    params.num_cores = cfg.hierarchy.num_cores;
+    params.accesses_per_core = cli.get_uint("accesses", 20000);
+    params.seed = cli.get_uint("seed", 1);
+    params.warp = workloads::warp_params_from_cli(cli);
+    mt = gen->generate(params);
+  }
+  if (*ok && !cfg.trace_io.record_path.empty()) {
+    const trace::CodecResult res =
+        trace::write_file(mt, cfg.trace_io.record_path);
+    if (!res.ok()) {
+      std::fprintf(stderr, "trace_record='%s' failed: %s (%s)\n",
+                   cfg.trace_io.record_path.c_str(),
+                   trace::to_string(res.status), res.detail.c_str());
       *ok = false;
     }
-    return mt;
   }
-  auto gen = workloads::make_workload(workload.empty() ? "stream" : workload);
-  if (!gen) {
-    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
-    *ok = false;
-    return {};
-  }
-  workloads::WorkloadParams params;
-  params.num_cores = num_cores;
-  params.accesses_per_core = cli.get_uint("accesses", 20000);
-  params.seed = cli.get_uint("seed", 1);
-  return gen->generate(params);
+  return mt;
 }
 
 void print_profile(const trace::MultiTrace& mt) {
@@ -82,7 +117,7 @@ int main(int argc, char** argv) {
   }
 
   bool ok = true;
-  const trace::MultiTrace mt = obtain_trace(cli, cfg.hierarchy.num_cores, &ok);
+  const trace::MultiTrace mt = obtain_trace(cli, cfg, &ok);
   if (!ok) return 1;
 
   if (cmd == "profile") {
@@ -90,9 +125,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "save") {
-    const std::string file = cli.get_string("file", "out.trace");
-    if (!trace::save(mt, file)) {
-      std::fprintf(stderr, "failed to write '%s'\n", file.c_str());
+    const std::string file = cli.get_string("file", "out.hmct");
+    const trace::CodecResult res = trace::write_file(mt, file);
+    if (!res.ok()) {
+      std::fprintf(stderr, "failed to write '%s': %s (%s)\n", file.c_str(),
+                   trace::to_string(res.status), res.detail.c_str());
       return 1;
     }
     std::printf("wrote %llu records to %s\n",
@@ -119,6 +156,16 @@ int main(int argc, char** argv) {
     t.add_row({"runtime (us)",
                Table::fmt(rep.runtime_seconds() * 1e6, 2)});
     std::fputs(t.to_ascii().c_str(), stdout);
+    const std::string csv_out = cli.get_string("csv", "");
+    if (!csv_out.empty()) {
+      std::FILE* f = std::fopen(csv_out.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "failed to write '%s'\n", csv_out.c_str());
+        return 1;
+      }
+      std::fputs(t.to_csv().c_str(), f);
+      std::fclose(f);
+    }
     const std::string metrics_out = cli.get_string("metrics_out", "");
     if (!metrics_out.empty() && sys.metrics() != nullptr) {
       std::FILE* f = std::fopen(metrics_out.c_str(), "wb");

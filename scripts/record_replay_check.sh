@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Record->replay byte-identity gate for the .hmct trace corpus
+# (src/trace/codec.hpp).
+#
+# For one CPU workload and one warp workload, run the workbench live with
+# trace_record=, then replay the captured corpus file with trace_replay=,
+# and require all three observable outputs to be byte-identical:
+#   * the stdout result table
+#   * the CSV mirror (csv=)
+#   * the full Prometheus registry (metrics=1 metrics_out=)
+# Any drift between the generator path and the codec path — an encode bug, a
+# lossy field, a record reordered — fails the diff.
+#
+# Usage: record_replay_check.sh <path-to-trace_workbench> [keep-dir]
+# When keep-dir is given, the recorded .hmct corpus files are copied there
+# (CI uploads them as artifacts).
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <path-to-trace_workbench> [keep-dir]" >&2
+  exit 2
+fi
+
+workbench=$(realpath "$1")
+keep_dir=${2:-}
+if [[ -n "$keep_dir" ]]; then
+  mkdir -p "$keep_dir"
+  keep_dir=$(realpath "$keep_dir")
+fi
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+cd "$scratch"
+
+for wl in stream warp_gups; do
+  "$workbench" cmd=run workload="$wl" accesses=3000 cores=4 \
+    trace_record="$wl.hmct" csv="${wl}_live.csv" \
+    metrics=1 metrics_out="${wl}_live.prom" > "${wl}_live.txt" 2>/dev/null
+
+  "$workbench" cmd=run trace_replay="$wl.hmct" csv="${wl}_replay.csv" \
+    metrics=1 metrics_out="${wl}_replay.prom" > "${wl}_replay.txt" 2>/dev/null
+
+  for ext in txt csv prom; do
+    if ! diff -u "${wl}_live.$ext" "${wl}_replay.$ext"; then
+      echo "record/replay: $wl .$ext output diverged" >&2
+      exit 1
+    fi
+  done
+  if [[ -n "$keep_dir" ]]; then
+    cp "$wl.hmct" "$keep_dir/"
+  fi
+  echo "record/replay: $wl OK (stdout, CSV, Prometheus identical)"
+done
+echo "record/replay: OK"

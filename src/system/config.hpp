@@ -86,6 +86,18 @@ struct ExecConfig {
   }
 };
 
+/// Trace corpus record/replay (the `.hmct` codec in src/trace/codec.hpp).
+/// Both default off. Record captures the generated MultiTrace to disk
+/// (atomic temp+rename, so a sweep point crashing mid-write never leaves a
+/// torn corpus file); replay substitutes a trace file for the generator so
+/// a captured workload re-runs byte-identically anywhere. Record from a
+/// single run, not a multi-point sweep — concurrent points would race on
+/// the output path (last rename wins).
+struct TraceIoConfig {
+  std::string record_path;  ///< when non-empty, write the trace here
+  std::string replay_path;  ///< when non-empty, replay this file instead
+};
+
 struct SystemConfig {
   cache::HierarchyConfig hierarchy{};  // 12 cores, 16 LLC MSHRs
   hmc::HmcConfig hmc{};                // 8 GB, 256 B blocks
@@ -94,6 +106,7 @@ struct SystemConfig {
   CoalescerMode mode = CoalescerMode::kFull;
   ObsConfig obs{};
   ExecConfig exec{};
+  TraceIoConfig trace_io{};
 };
 
 /// Upper bound on the delay of any ROUTINE event the simulator schedules

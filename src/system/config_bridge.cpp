@@ -295,6 +295,22 @@ std::vector<Knob<SystemConfig>> build_platform_knobs() {
         [](const SystemConfig& c) { return c.obs.sample_interval; },
         [](SystemConfig& c, std::uint64_t v) { c.obs.sample_interval = v; }));
 
+  // Trace corpus record/replay (src/trace/codec.hpp). Defaults off.
+  t.push_back(desc::string_knob<SystemConfig>(
+      "trace_record", "platform",
+      "capture the generated trace to this .hmct path (\"\" disables)",
+      [](const SystemConfig& c) { return c.trace_io.record_path; },
+      [](SystemConfig& c, std::string v) {
+        c.trace_io.record_path = std::move(v);
+      }));
+  t.push_back(desc::string_knob<SystemConfig>(
+      "trace_replay", "platform",
+      "replay this .hmct trace instead of running the generator",
+      [](const SystemConfig& c) { return c.trace_io.replay_path; },
+      [](SystemConfig& c, std::string v) {
+        c.trace_io.replay_path = std::move(v);
+      }));
+
   // Fill each knob's canonical default from the paper platform: the same
   // read() that round-trips a live config also documents the default.
   const SystemConfig defaults = paper_system_config();

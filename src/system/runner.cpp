@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/codec.hpp"
+
 namespace hmcc::system {
 
 SystemConfig paper_system_config() {
@@ -12,11 +14,43 @@ SystemConfig paper_system_config() {
 
 RunResult run_workload(const std::string& workload, SystemConfig cfg,
                        const workloads::WorkloadParams& params) {
-  auto gen = workloads::make_workload(workload);
-  if (!gen) throw std::invalid_argument("unknown workload: " + workload);
-  workloads::WorkloadParams p = params;
-  p.num_cores = cfg.hierarchy.num_cores;
-  const trace::MultiTrace mtrace = gen->generate(p);
+  trace::MultiTrace mtrace;
+  if (!cfg.trace_io.replay_path.empty()) {
+    // Replay: the .hmct file IS the workload; the named generator is not
+    // consulted (the name still labels the run's output rows).
+    const trace::CodecResult res =
+        trace::read_file(mtrace, cfg.trace_io.replay_path);
+    if (!res.ok()) {
+      throw std::invalid_argument("trace_replay=" + cfg.trace_io.replay_path +
+                                  ": " + trace::to_string(res.status) +
+                                  (res.detail.empty() ? "" : " (" + res.detail +
+                                                                ")"));
+    }
+    if (mtrace.per_core.size() > cfg.hierarchy.num_cores) {
+      throw std::invalid_argument(
+          "trace_replay=" + cfg.trace_io.replay_path + ": trace has " +
+          std::to_string(mtrace.per_core.size()) +
+          " core streams but the platform has " +
+          std::to_string(cfg.hierarchy.num_cores) +
+          " cores; raise cores= to at least the trace's count");
+    }
+  } else {
+    auto gen = workloads::make_workload(workload);
+    if (!gen) throw std::invalid_argument("unknown workload: " + workload);
+    workloads::WorkloadParams p = params;
+    p.num_cores = cfg.hierarchy.num_cores;
+    mtrace = gen->generate(p);
+  }
+  if (!cfg.trace_io.record_path.empty()) {
+    const trace::CodecResult res =
+        trace::write_file(mtrace, cfg.trace_io.record_path);
+    if (!res.ok()) {
+      throw std::runtime_error("trace_record=" + cfg.trace_io.record_path +
+                               ": " + trace::to_string(res.status) +
+                               (res.detail.empty() ? "" : " (" + res.detail +
+                                                              ")"));
+    }
+  }
   System sys(cfg);
   RunResult r;
   r.workload = workload;

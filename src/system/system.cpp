@@ -120,7 +120,7 @@ void System::step_core(std::uint32_t core) {
   }
 
   const trace::TraceRecord& rec = (*cs.stream)[cs.pc];
-  if (rec.barrier) {
+  if (rec.is_barrier()) {
     // OpenMP-style join: a thread only reaches the join after its own loads
     // returned (it consumed their values), so drain first...
     if (cs.outstanding > 0) {
@@ -133,17 +133,20 @@ void System::step_core(std::uint32_t core) {
     maybe_release_barrier();
     return;
   }
-  if (rec.fence) {
+  if (rec.is_fence()) {
     coalescer_->submit_fence();
     ++cs.pc;
     schedule_issue(core, cfg_.core.issue_interval);
     return;
   }
+  // Past the marker dispatch above, the record MUST be a real access —
+  // a marker reaching the cache/coalescer path would issue a phantom load.
+  assert(rec.is_access());
 
   // Split accesses that straddle a cache line; process one line per step.
   const std::uint32_t line = cfg_.coalescer.line_bytes;
-  const Addr addr = rec.addr + cs.sub_offset;
-  const std::uint32_t remaining = rec.size - cs.sub_offset;
+  const Addr addr = rec.access_addr() + cs.sub_offset;
+  const std::uint32_t remaining = rec.access_size() - cs.sub_offset;
   const Addr line_end = align_down(addr, line) + line;
   const auto chunk = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(remaining, line_end - addr));
@@ -158,7 +161,7 @@ void System::step_core(std::uint32_t core) {
   }
 
   cs.sub_offset += chunk;
-  if (cs.sub_offset >= rec.size) {
+  if (cs.sub_offset >= rec.access_size()) {
     ++cs.pc;
     cs.sub_offset = 0;
   }

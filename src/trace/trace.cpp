@@ -15,11 +15,11 @@ TraceProfile profile(const MultiTrace& trace) {
     Addr prev_end = ~0ULL;
     for (const TraceRecord& r : stream) {
       ++p.records;
-      if (r.fence) {
+      if (r.is_fence()) {
         ++p.fences;
         continue;
       }
-      if (r.barrier) {
+      if (r.is_barrier()) {
         ++p.barriers;
         continue;
       }
@@ -28,13 +28,13 @@ TraceProfile profile(const MultiTrace& trace) {
       } else {
         ++p.stores;
       }
-      p.bytes += r.size;
-      p.size.add(static_cast<double>(r.size));
-      lines.insert(align_down(r.addr, arch::kLineSize));
-      if (r.addr == prev_end) {
+      p.bytes += r.access_size();
+      p.size.add(static_cast<double>(r.access_size()));
+      lines.insert(align_down(r.access_addr(), arch::kLineSize));
+      if (r.access_addr() == prev_end) {
         p.sequential_fraction += 1.0;  // counted, normalized below
       }
-      prev_end = r.addr + r.size;
+      prev_end = r.access_addr() + r.access_size();
     }
   }
   p.distinct_lines = lines.size();
@@ -84,8 +84,8 @@ bool save(const MultiTrace& trace, const std::string& path) {
       // bit2 barrier).
       std::uint32_t flags = 0;
       if (r.type == ReqType::kStore) flags |= 1;
-      if (r.fence) flags |= 2;
-      if (r.barrier) flags |= 4;
+      if (r.is_fence()) flags |= 2;
+      if (r.is_barrier()) flags |= 4;
       if (!write_u64(f.get(), r.addr) || !write_u32(f.get(), r.size) ||
           !write_u32(f.get(), flags)) {
         return false;
@@ -121,8 +121,11 @@ bool load(MultiTrace& trace, const std::string& path) {
       r.addr = addr;
       r.size = size;
       r.type = (flags & 1) ? ReqType::kStore : ReqType::kLoad;
-      r.fence = (flags & 2) != 0;
-      r.barrier = (flags & 4) != 0;
+      if ((flags & 2) != 0) {
+        r = TraceRecord::make_fence();
+      } else if ((flags & 4) != 0) {
+        r = TraceRecord::make_barrier();
+      }
       stream.push_back(r);
     }
   }

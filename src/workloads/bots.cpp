@@ -23,8 +23,7 @@ class SparseLuWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.24; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kPanelElems = (16ULL << 10) / 8;  // 16 KB panel
     constexpr std::uint64_t kChunkElems = 8;
     constexpr std::uint64_t kNumPanels = (80ULL << 20) / (kPanelElems * 8);
@@ -39,7 +38,7 @@ class SparseLuWorkload final : public Workload {
       panels.push_back(sched_rng.below(kNumPanels));
     }
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       std::uint64_t budget = accesses;
       std::uint64_t pi = 0;
       while (budget > 0) {
@@ -55,14 +54,14 @@ class SparseLuWorkload final : public Workload {
             for (std::uint64_t e = ch * kChunkElems;
                  e < (ch + 1) * kChunkElems && budget > 0; ++e) {
               if (is_update) {
-                out.push_back(TraceRecord::store(base + e * 8, 8));
+                out.store(base + e * 8, 8);
               } else {
-                out.push_back(TraceRecord::load(base + e * 8, 8));
+                out.load(base + e * 8, 8);
               }
               --budget;
             }
           }
-          out.push_back(TraceRecord::make_barrier());
+          out.barrier();
         }
         pi += 3;
       }
@@ -84,8 +83,7 @@ class SortWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.36; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kChunkElems = 8;
     const Addr arena = shared_base(p);
     const Addr run_a = arena;
@@ -95,7 +93,7 @@ class SortWorkload final : public Workload {
     const std::uint64_t chunks_per_core = iters_per_core / kChunkElems;
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
       Xoshiro256 rng(p.seed * 31337 + core);
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       for (std::uint64_t k = 0; k < chunks_per_core; ++k) {
         const std::uint64_t chunk = k * p.num_cores + core;
         for (std::uint64_t e = 0; e < kChunkElems; ++e) {
@@ -104,15 +102,14 @@ class SortWorkload final : public Workload {
           // position i, +- a small data-dependent wobble.
           const std::uint64_t pos = i / 2 + rng.below(4);
           if (rng.chance(0.5)) {
-            out.push_back(TraceRecord::load(run_a + pos * 8, 8));
+            out.load(run_a + pos * 8, 8);
           } else {
-            out.push_back(TraceRecord::load(run_b + pos * 8, 8));
+            out.load(run_b + pos * 8, 8);
           }
-          out.push_back(TraceRecord::store(dest + i * 8, 8));
-          out.push_back(TraceRecord::load(
-              rng.chance(0.5) ? run_a + pos * 8 : run_b + pos * 8, 8));
+          out.store(dest + i * 8, 8);
+          out.load(rng.chance(0.5) ? run_a + pos * 8 : run_b + pos * 8, 8);
         }
-        if (k % 8 == 7) out.push_back(TraceRecord::make_barrier());
+        out.barrier_every(k, 8);
       }
     }
     return mt;

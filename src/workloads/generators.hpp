@@ -51,4 +51,48 @@ inline std::uint64_t skewed_index(Xoshiro256& rng, std::uint64_t n) {
   return idx >= n ? n - 1 : idx;
 }
 
+/// One stream per core, ready for the emitters below.
+[[nodiscard]] inline trace::MultiTrace make_streams(const WorkloadParams& p) {
+  trace::MultiTrace mt;
+  mt.per_core.resize(p.num_cores);
+  return mt;
+}
+
+/// Shared record-emission helper wrapping one core's stream. Every generator
+/// pushes the same load/store/marker records; this keeps that spelling in
+/// one place so new front-ends (e.g. the warp generators) don't copy it
+/// again. Budget accounting deliberately stays with the caller: the suite's
+/// generators decrement budgets in subtly different per-pattern ways that
+/// are part of each trace's shape.
+class Emitter {
+ public:
+  explicit Emitter(std::vector<trace::TraceRecord>& out) : out_(&out) {}
+
+  void reserve(std::uint64_t n) { out_->reserve(n); }
+  void load(Addr a, std::uint32_t size = 8) {
+    out_->push_back(trace::TraceRecord::load(a, size));
+  }
+  void store(Addr a, std::uint32_t size = 8) {
+    out_->push_back(trace::TraceRecord::store(a, size));
+  }
+  void fence() { out_->push_back(trace::TraceRecord::make_fence()); }
+  void barrier() { out_->push_back(trace::TraceRecord::make_barrier()); }
+  /// OpenMP-style join cadence: emit a barrier on every n-th round of a
+  /// zero-based round counter k (i.e. when k % n == n - 1).
+  void barrier_every(std::uint64_t k, std::uint64_t n) {
+    if (n != 0 && k % n == n - 1) barrier();
+  }
+
+ private:
+  std::vector<trace::TraceRecord>* out_;
+};
+
+/// Pairwise-matched join: every core's stream gets a barrier record (cores
+/// whose budget ran out simply wait at it).
+inline void barrier_all(trace::MultiTrace& mt) {
+  for (auto& stream : mt.per_core) {
+    stream.push_back(trace::TraceRecord::make_barrier());
+  }
+}
+
 }  // namespace hmcc::workloads::detail

@@ -23,8 +23,7 @@ class StreamWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.22; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kChunkElems = 8;  // one 64 B line of doubles
     const Addr a = shared_base(p);
     const Addr b = a + (24ULL << 20);
@@ -32,19 +31,19 @@ class StreamWorkload final : public Workload {
     const std::uint64_t iters_per_core = p.accesses_per_core / 3;
     const std::uint64_t chunks_per_core = iters_per_core / kChunkElems;
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       out.reserve(iters_per_core * 3);
       for (std::uint64_t k = 0; k < chunks_per_core; ++k) {
         const std::uint64_t chunk = k * p.num_cores + core;  // cyclic
         for (std::uint64_t e = 0; e < kChunkElems; ++e) {
           const std::uint64_t i = chunk * kChunkElems + e;
-          out.push_back(TraceRecord::load(b + i * 8, 8));
-          out.push_back(TraceRecord::load(c + i * 8, 8));
-          out.push_back(TraceRecord::store(a + i * 8, 8));
+          out.load(b + i * 8, 8);
+          out.load(c + i * 8, 8);
+          out.store(a + i * 8, 8);
         }
         // OpenMP-style join every few rounds keeps the cores in step, so
         // their aggregated misses stay consecutive.
-        if (k % 4 == 3) out.push_back(TraceRecord::make_barrier());
+        out.barrier_every(k, 4);
       }
     }
     return mt;
@@ -65,8 +64,7 @@ class SgWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.29; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kChunkElems = 8;
     constexpr std::uint64_t kTableElems = (48ULL << 20) / 8;
     const Addr idx = shared_base(p);
@@ -92,17 +90,17 @@ class SgWorkload final : public Workload {
     }
 
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       out.reserve(iters_per_core * 3);
       for (std::uint64_t k = 0; k < chunks_per_core; ++k) {
         const std::uint64_t chunk = k * p.num_cores + core;
         for (std::uint64_t e = 0; e < kChunkElems; ++e) {
           const std::uint64_t i = chunk * kChunkElems + e;
-          out.push_back(TraceRecord::load(idx + i * 8, 8));
-          out.push_back(TraceRecord::load(data + gather_pos[i] * 8, 8));
-          out.push_back(TraceRecord::store(res + i * 8, 8));
+          out.load(idx + i * 8, 8);
+          out.load(data + gather_pos[i] * 8, 8);
+          out.store(res + i * 8, 8);
         }
-        if (k % 4 == 3) out.push_back(TraceRecord::make_barrier());
+        out.barrier_every(k, 4);
       }
     }
     return mt;

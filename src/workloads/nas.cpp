@@ -21,24 +21,23 @@ class EpWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 1.00; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kHistBytes = 24ULL << 20;
     const Addr hist = shared_base(p);
     const Addr small_tbl = hist + (32ULL << 20);
     const std::uint64_t accesses = p.accesses_per_core / 3;  // light traffic
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
       Xoshiro256 rng(p.seed * 50021 + core);
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       std::uint64_t budget = accesses;
       while (budget > 0) {
         if (rng.chance(0.7)) {
           const Addr a = hist + skewed_index(rng, kHistBytes / 8) * 8;
-          out.push_back(TraceRecord::load(a, 8));
-          out.push_back(TraceRecord::store(a, 8));
+          out.load(a, 8);
+          out.store(a, 8);
           budget -= std::min<std::uint64_t>(budget, 2);
         } else {
-          out.push_back(TraceRecord::load(small_tbl + rng.below(512) * 8, 8));
+          out.load(small_tbl + rng.below(512) * 8, 8);
           --budget;
         }
       }
@@ -60,8 +59,7 @@ class FtWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.26; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kPencilElems = 1024;  // 16 KB pencils
     constexpr std::uint64_t kChunkElems = 4;      // one line of 16 B complex
     const Addr src = shared_base(p);
@@ -69,7 +67,7 @@ class FtWorkload final : public Workload {
     const std::uint64_t pencils_total = (64ULL << 20) / (kPencilElems * 16);
     const std::uint64_t accesses = p.accesses_per_core * 3 / 2;
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       std::uint64_t budget = accesses;
       std::uint64_t round = 0;
       while (budget > 0) {
@@ -84,18 +82,18 @@ class FtWorkload final : public Workload {
              ch += p.num_cores) {
           for (std::uint64_t e = ch * kChunkElems;
                e < (ch + 1) * kChunkElems && budget > 0; ++e, --budget) {
-            out.push_back(TraceRecord::load(sbase + e * 16, 16));
+            out.load(sbase + e * 16, 16);
           }
         }
-        out.push_back(TraceRecord::make_barrier());
+        out.barrier();
         for (std::uint64_t ch = core; ch < chunks && budget > 0;
              ch += p.num_cores) {
           for (std::uint64_t e = ch * kChunkElems;
                e < (ch + 1) * kChunkElems && budget > 0; ++e, --budget) {
-            out.push_back(TraceRecord::store(dbase + e * 16, 16));
+            out.store(dbase + e * 16, 16);
           }
         }
-        out.push_back(TraceRecord::make_barrier());
+        out.barrier();
         ++round;
       }
     }
@@ -115,8 +113,7 @@ class IsWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.55; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kBucketElems = (40ULL << 20) / 8;
     constexpr std::uint64_t kChunkKeys = 16;  // one 64 B line of 4 B keys
     constexpr std::uint64_t kChunkElems = 8;
@@ -125,7 +122,7 @@ class IsWorkload final : public Workload {
     const std::uint64_t budget_per_core = p.accesses_per_core;
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
       Xoshiro256 rng(p.seed * 28657 + core);
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       std::uint64_t budget = budget_per_core;
       std::uint64_t key_chunk = core;
       std::uint64_t rank_chunk = core;
@@ -133,34 +130,33 @@ class IsWorkload final : public Workload {
         // Scatter phase: ~3 accesses per key, one key line per chunk.
         for (std::uint64_t kk = 0; kk < 4 && budget > 0; ++kk) {
           for (std::uint64_t e = 0; e < kChunkKeys && budget > 0; ++e) {
-            out.push_back(TraceRecord::load(
-                keys + (key_chunk * kChunkKeys + e) * 4, 4));
+            out.load(keys + (key_chunk * kChunkKeys + e) * 4, 4);
             --budget;
             if (budget == 0) break;
             const Addr b = buckets + skewed_index(rng, kBucketElems) * 8;
-            out.push_back(TraceRecord::load(b, 8));
+            out.load(b, 8);
             --budget;
             if (budget == 0) break;
-            out.push_back(TraceRecord::store(b, 8));
+            out.store(b, 8);
             --budget;
           }
           key_chunk += p.num_cores;
         }
-        out.push_back(TraceRecord::make_barrier());
+        out.barrier();
         // Rank phase: cooperative sequential sweep over the bucket array.
         for (std::uint64_t rk = 0; rk < 128 && budget > 0; ++rk) {
           for (std::uint64_t e = 0; e < kChunkElems && budget > 0; ++e) {
             const Addr b =
                 buckets + ((rank_chunk * kChunkElems + e) % kBucketElems) * 8;
-            out.push_back(TraceRecord::load(b, 8));
+            out.load(b, 8);
             --budget;
             if (budget == 0) break;
-            out.push_back(TraceRecord::store(b, 8));
+            out.store(b, 8);
             --budget;
           }
           rank_chunk += p.num_cores;
         }
-        out.push_back(TraceRecord::make_barrier());
+        out.barrier();
       }
     }
     return mt;
@@ -180,15 +176,14 @@ class LuWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.22; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kRowElems = 8192;  // 64 KB rows
     constexpr std::uint64_t kChunkElems = 8;
     const Addr grid = shared_base(p);
     const std::uint64_t rows_total = (64ULL << 20) / (kRowElems * 8);
     const std::uint64_t accesses = p.accesses_per_core * 6;
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       std::uint64_t budget = accesses;
       std::uint64_t row = 0;
       while (budget > 0) {
@@ -198,10 +193,10 @@ class LuWorkload final : public Workload {
              ch += p.num_cores) {
           for (std::uint64_t e = ch * kChunkElems;
                e < (ch + 1) * kChunkElems && budget > 0; ++e) {
-            out.push_back(TraceRecord::load(rbase + e * 8, 8));
+            out.load(rbase + e * 8, 8);
             --budget;
             if (e % 4 == 3 && budget > 0) {
-              out.push_back(TraceRecord::store(rbase + e * 8, 8));
+              out.store(rbase + e * 8, 8);
               --budget;
             }
           }
@@ -210,11 +205,11 @@ class LuWorkload final : public Workload {
             // chunk, which core c+1 is sweeping concurrently — a genuine
             // same-line outstanding miss for the MSHR merge path.
             const std::uint64_t nch = ((ch + 1) % chunks) * kChunkElems;
-            out.push_back(TraceRecord::load(rbase + nch * 8, 8));
+            out.load(rbase + nch * 8, 8);
             --budget;
           }
         }
-        out.push_back(TraceRecord::make_barrier());
+        out.barrier();
         ++row;
       }
     }
@@ -235,8 +230,7 @@ class SpWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.30; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kNx = 256;
     constexpr std::uint64_t kNy = 64;
     constexpr std::uint64_t kChunkElems = 8;
@@ -244,7 +238,7 @@ class SpWorkload final : public Workload {
     const std::uint64_t elems = (96ULL << 20) / 8;
     const std::uint64_t accesses = p.accesses_per_core * 5;
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       std::uint64_t budget = accesses;
       std::uint64_t sweep = 0;
       std::uint64_t region = 0;
@@ -263,10 +257,10 @@ class SpWorkload final : public Workload {
             for (std::uint64_t e = ch * kChunkElems;
                  e < (ch + 1) * kChunkElems && budget > 0; ++e) {
               const Addr a = grid + (start + e) * 8;
-              out.push_back(TraceRecord::load(a, 8));
+              out.load(a, 8);
               --budget;
               if (budget > 0) {
-                out.push_back(TraceRecord::store(a, 8));
+                out.store(a, 8);
                 --budget;
               }
             }
@@ -277,15 +271,15 @@ class SpWorkload final : public Workload {
           for (std::uint64_t e = core; e < 128 && budget > 0;
                e += p.num_cores) {
             const Addr a = grid + (start + e * stride) * 8;
-            out.push_back(TraceRecord::load(a, 8));
+            out.load(a, 8);
             --budget;
             if (budget > 0) {
-              out.push_back(TraceRecord::store(a, 8));
+              out.store(a, 8);
               --budget;
             }
           }
         }
-        out.push_back(TraceRecord::make_barrier());
+        out.barrier();
         ++sweep;
         ++region;
       }

@@ -27,8 +27,7 @@ class HpcgWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.90; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kNx = 128;
     constexpr std::uint64_t kNy = 128;
     const Addr mtx = shared_base(p);      // (val,col) pairs, 16 B each
@@ -37,14 +36,14 @@ class HpcgWorkload final : public Workload {
     const std::uint64_t rows_per_core = p.accesses_per_core / (27 * 2 + 1);
     const std::uint64_t total_rows = rows_per_core * p.num_cores;
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       for (std::uint64_t k = 0; k < rows_per_core; ++k) {
         const std::uint64_t row = k * p.num_cores + core;  // cyclic rows
         std::uint64_t nnz = row * 27;
         for (int dz = -1; dz <= 1; ++dz) {
           for (int dy = -1; dy <= 1; ++dy) {
             for (int dx = -1; dx <= 1; ++dx) {
-              out.push_back(TraceRecord::load(mtx + nnz * 16, 16));
+              out.load(mtx + nnz * 16, 16);
               ++nnz;
               const std::int64_t col =
                   static_cast<std::int64_t>(row) + dx +
@@ -54,12 +53,12 @@ class HpcgWorkload final : public Workload {
                   std::clamp<std::int64_t>(
                       col, 0, static_cast<std::int64_t>(total_rows +
                                                         kNx * kNy) - 1));
-              out.push_back(TraceRecord::load(x + safe * 8, 8));
+              out.load(x + safe * 8, 8);
             }
           }
         }
-        out.push_back(TraceRecord::store(y + row * 8, 8));
-        if (k % 4 == 3) out.push_back(TraceRecord::make_barrier());
+        out.store(y + row * 8, 8);
+        out.barrier_every(k, 4);
       }
     }
     return mt;
@@ -78,8 +77,7 @@ class CgWorkload final : public Workload {
   }
   double memory_phase_fraction() const override { return 1.00; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kNnzPerRow = 13;
     constexpr std::uint64_t kVecBytes = 40ULL << 20;
     const Addr val = shared_base(p);
@@ -89,17 +87,15 @@ class CgWorkload final : public Workload {
         p.accesses_per_core / (2 * kNnzPerRow + 1);
     for (std::uint32_t core = 0; core < p.num_cores; ++core) {
       Xoshiro256 rng(p.seed * 13007 + core);
-      auto& out = mt.per_core[core];
+      Emitter out(mt.per_core[core]);
       for (std::uint64_t k = 0; k < rows_per_core; ++k) {
         const std::uint64_t row = k * p.num_cores + core;
         for (std::uint64_t e = 0; e < kNnzPerRow; ++e) {
-          out.push_back(
-              TraceRecord::load(val + (row * kNnzPerRow + e) * 8, 8));
-          out.push_back(TraceRecord::load(
-              x + skewed_index(rng, kVecBytes / 8) * 8, 8));
+          out.load(val + (row * kNnzPerRow + e) * 8, 8);
+          out.load(x + skewed_index(rng, kVecBytes / 8) * 8, 8);
         }
-        out.push_back(TraceRecord::store(y + row * 8, 8));
-        if (k % 16 == 15) out.push_back(TraceRecord::make_barrier());
+        out.store(y + row * 8, 8);
+        out.barrier_every(k, 16);
       }
     }
     return mt;
@@ -121,8 +117,7 @@ class Ssca2Workload final : public Workload {
   }
   double memory_phase_fraction() const override { return 0.90; }
   MultiTrace generate(const WorkloadParams& p) const override {
-    MultiTrace mt;
-    mt.per_core.resize(p.num_cores);
+    MultiTrace mt = make_streams(p);
     constexpr std::uint64_t kVertices = (24ULL << 20) / 8;
     constexpr std::uint64_t kEdgeElems = (64ULL << 20) / 8;
     constexpr std::uint64_t kChunkEdges = 8;  // one line of 8 B edges
@@ -149,11 +144,11 @@ class Ssca2Workload final : public Workload {
       ++rounds;
       for (std::uint32_t core = 0; core < p.num_cores; ++core) {
         if (budget[core] == 0) continue;
-        auto& out = mt.per_core[core];
+        Emitter out(mt.per_core[core]);
         // The owning core dereferences the vertex record and marks it
         // visited; the edge list is processed collectively.
         if (core == v % p.num_cores) {
-          out.push_back(TraceRecord::load(vtx + v * 8, 8));
+          out.load(vtx + v * 8, 8);
           --budget[core];
         }
         for (std::uint64_t ch = core; ch < chunks && budget[core] > 0;
@@ -162,12 +157,12 @@ class Ssca2Workload final : public Workload {
                e < std::min(degree, (ch + 1) * kChunkEdges) &&
                budget[core] > 0;
                ++e) {
-            out.push_back(TraceRecord::load(edges + (elist + e) * 8, 8));
+            out.load(edges + (elist + e) * 8, 8);
             --budget[core];
           }
         }
         if (budget[core] > 0 && core == v % p.num_cores) {
-          out.push_back(TraceRecord::store(visited + v, 1));
+          out.store(visited + v, 1);
           --budget[core];
         }
         work_left = work_left || budget[core] > 0;
@@ -175,9 +170,7 @@ class Ssca2Workload final : public Workload {
       if (rounds % 4 == 0) {
         // Pairwise-matched joins: every core emits the barrier, including
         // ones whose budget ran out (they just wait at it).
-        for (std::uint32_t core = 0; core < p.num_cores; ++core) {
-          mt.per_core[core].push_back(TraceRecord::make_barrier());
-        }
+        barrier_all(mt);
       }
     }
     return mt;

@@ -1,6 +1,7 @@
 #include "workloads/workload.hpp"
 
 #include "workloads/generators.hpp"
+#include "workloads/warp.hpp"
 
 namespace hmcc::workloads {
 
@@ -25,6 +26,11 @@ std::unique_ptr<Workload> make_workload(const std::string& name) {
   if (name == "is") return make_is();
   if (name == "lu") return make_lu();
   if (name == "sp") return make_sp();
+  // The warp SIMT front-end (warp.hpp) — resolvable by name everywhere but
+  // deliberately absent from workload_names() (the paper's fixed 12).
+  if (name == "warp_gups") return make_warp_gups();
+  if (name == "warp_saxpy") return make_warp_saxpy();
+  if (name == "warp_chase") return make_warp_chase();
   return nullptr;
 }
 

@@ -18,6 +18,20 @@
 
 namespace hmcc::workloads {
 
+/// SIMT front-end shape consulted by the warp_* workloads (warp.hpp). The
+/// CPU generators ignore these. Kept inside WorkloadParams so every driver
+/// (benches, workbench, daemon jobs) threads them through one struct.
+struct WarpParams {
+  std::uint32_t warps = 8;        ///< resident warps per core (per "SM")
+  std::uint32_t warp_width = 32;  ///< threads per warp (vector length)
+  std::uint32_t lanes = 16;       ///< SIMD issue width; a vector op charges
+                                  ///< ceil(warp_width / lanes) issue beats
+  /// MLP bound: warps concurrently suspended on memory. Issue stalls once
+  /// this many warps are in flight, so the emitted interleave (and the
+  /// coalescer pressure downstream) is bounded, not unbounded fire-hose.
+  std::uint32_t max_outstanding_warps = 4;
+};
+
 struct WorkloadParams {
   std::uint32_t num_cores = 12;
   /// Approximate CPU memory accesses generated per core (each workload
@@ -27,6 +41,7 @@ struct WorkloadParams {
   std::uint64_t seed = 1;
   /// Base of the workload's data segment in physical memory.
   Addr base_addr = 1ULL << 30;
+  WarpParams warp{};
 };
 
 class Workload {

@@ -259,8 +259,9 @@ TEST(PlatformKnobs, MetadataMatchesKeysAndCarriesDefaults) {
 // --- Bench knob table ------------------------------------------------------
 
 TEST(BenchKnobs, TableCoversTheHistoricalKeys) {
-  const std::vector<std::string> expected = {"accesses", "seed", "csv",
-                                             "threads"};
+  const std::vector<std::string> expected = {
+      "accesses", "seed",  "csv",   "threads",
+      "warps",    "warp_width", "lanes", "max_outstanding_warps"};
   EXPECT_EQ(bench::bench_cli_keys(), expected);
 }
 
@@ -292,6 +293,23 @@ TEST(SuiteKnobInfo, IsGeneratedFromBothTables) {
     EXPECT_EQ(got.kind, desc::to_string(platform_meta[i].kind));
     EXPECT_EQ(got.scope, "platform");
   }
+}
+
+TEST(SuiteKnobInfo, AdvertisesWarpAndTraceIoKnobs) {
+  // Daemon jobs can shape the warp front-end and replay shipped .hmct
+  // corpora; the served metadata must advertise all six knobs.
+  const auto& info = bench::suite_knob_info();
+  auto has = [&info](const char* name, const char* scope) {
+    return std::any_of(info.begin(), info.end(), [&](const auto& k) {
+      return k.name == name && k.scope == scope;
+    });
+  };
+  EXPECT_TRUE(has("warps", "bench"));
+  EXPECT_TRUE(has("warp_width", "bench"));
+  EXPECT_TRUE(has("lanes", "bench"));
+  EXPECT_TRUE(has("max_outstanding_warps", "bench"));
+  EXPECT_TRUE(has("trace_record", "platform"));
+  EXPECT_TRUE(has("trace_replay", "platform"));
 }
 
 TEST(SuiteKnobInfo, AdvertisesTheSampleIntervalKnob) {

@@ -220,7 +220,7 @@ loop:
     EXPECT_EQ(stream[0].type, ReqType::kLoad);
     EXPECT_EQ(stream[1].addr, 0x40000008u + c * 8);
     EXPECT_EQ(stream[1].type, ReqType::kStore);
-    EXPECT_TRUE(stream[8].fence);
+    EXPECT_TRUE(stream[8].is_fence());
   }
 }
 

@@ -1,0 +1,102 @@
+// Record/replay through the full runner: a trace recorded by one run and
+// replayed by another must reproduce the run bit-for-bit (the CI gate in
+// scripts/record_replay_check.sh drives the same property end-to-end
+// through the workbench binary).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "system/runner.hpp"
+#include "trace/codec.hpp"
+
+namespace hmcc::system {
+namespace {
+
+SystemConfig small_config() {
+  SystemConfig cfg = paper_system_config();
+  cfg.hierarchy.num_cores = 4;
+  cfg.obs.metrics = true;  // metrics_text makes the comparison exhaustive
+  return cfg;
+}
+
+void expect_identical_runs(const RunResult& live, const RunResult& replayed) {
+  EXPECT_EQ(live.report.cpu_accesses, replayed.report.cpu_accesses);
+  EXPECT_EQ(live.report.llc_misses, replayed.report.llc_misses);
+  EXPECT_EQ(live.report.memory_requests, replayed.report.memory_requests);
+  EXPECT_EQ(live.report.runtime, replayed.report.runtime);
+  EXPECT_EQ(live.report.hmc.transferred_bytes,
+            replayed.report.hmc.transferred_bytes);
+  // The Prometheus rendering covers every published counter in one string.
+  EXPECT_EQ(live.metrics_text, replayed.metrics_text);
+  EXPECT_FALSE(live.metrics_text.empty());
+}
+
+TEST(RecordReplay, CpuWorkloadReplaysByteIdentically) {
+  const std::string path = ::testing::TempDir() + "/rr_stream.hmct";
+  workloads::WorkloadParams params;
+  params.accesses_per_core = 2000;
+
+  SystemConfig rec_cfg = small_config();
+  rec_cfg.trace_io.record_path = path;
+  const RunResult live = run_workload("stream", rec_cfg, params);
+
+  SystemConfig rep_cfg = small_config();
+  rep_cfg.trace_io.replay_path = path;
+  const RunResult replayed = run_workload("stream", rep_cfg, params);
+  expect_identical_runs(live, replayed);
+}
+
+TEST(RecordReplay, WarpWorkloadReplaysByteIdentically) {
+  const std::string path = ::testing::TempDir() + "/rr_warp.hmct";
+  workloads::WorkloadParams params;
+  params.accesses_per_core = 1500;
+  params.warp.warp_width = 16;
+
+  SystemConfig rec_cfg = small_config();
+  rec_cfg.trace_io.record_path = path;
+  const RunResult live = run_workload("warp_gups", rec_cfg, params);
+
+  SystemConfig rep_cfg = small_config();
+  rep_cfg.trace_io.replay_path = path;
+  // Replay ignores the generator: even a different workload name and seed
+  // must reproduce the recorded run exactly.
+  workloads::WorkloadParams other = params;
+  other.seed = 999;
+  const RunResult replayed = run_workload("warp_saxpy", rep_cfg, other);
+  expect_identical_runs(live, replayed);
+}
+
+TEST(RecordReplay, ReplayWithTooFewCoresIsANamedError) {
+  const std::string path = ::testing::TempDir() + "/rr_cores.hmct";
+  workloads::WorkloadParams params;
+  params.accesses_per_core = 100;
+  SystemConfig rec_cfg = small_config();  // 4 cores
+  rec_cfg.trace_io.record_path = path;
+  (void)run_workload("stream", rec_cfg, params);
+
+  SystemConfig rep_cfg = small_config();
+  rep_cfg.hierarchy.num_cores = 2;  // fewer than the recorded 4 streams
+  rep_cfg.trace_io.replay_path = path;
+  try {
+    (void)run_workload("stream", rep_cfg, params);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("raise cores="), std::string::npos);
+  }
+}
+
+TEST(RecordReplay, MissingReplayFileIsANamedError) {
+  SystemConfig cfg = small_config();
+  cfg.trace_io.replay_path = "/nonexistent/nope.hmct";
+  workloads::WorkloadParams params;
+  try {
+    (void)run_workload("stream", cfg, params);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trace_replay="), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hmcc::system

@@ -152,6 +152,29 @@ TEST(System, FencesDrainWithoutDeadlock) {
   EXPECT_EQ(rep.coalescer.fences, 2u);
 }
 
+TEST(System, MarkerRecordsNeverBecomeAccesses) {
+  // Fences and barriers are pure control markers: a trace made only of them
+  // must produce zero CPU accesses, zero LLC misses, and zero memory
+  // requests — a marker leaking into the access path would show up as a
+  // phantom load of line 0.
+  trace::MultiTrace mt;
+  mt.per_core.resize(2);
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    mt.per_core[c].push_back(trace::TraceRecord::make_fence());
+    mt.per_core[c].push_back(trace::TraceRecord::make_barrier());
+    mt.per_core[c].push_back(trace::TraceRecord::make_fence());
+  }
+  SystemConfig cfg = small_system(CoalescerMode::kFull);
+  cfg.hierarchy.num_cores = 2;
+  System sys(cfg);
+  const auto rep = sys.run(mt);
+  EXPECT_TRUE(rep.drained);
+  EXPECT_EQ(rep.cpu_accesses, 0u);
+  EXPECT_EQ(rep.llc_misses, 0u);
+  EXPECT_EQ(rep.memory_requests, 0u);
+  EXPECT_EQ(rep.coalescer.fences, 4u);
+}
+
 TEST(System, SpanningAccessSplitsAcrossLines) {
   trace::MultiTrace mt;
   mt.per_core.resize(1);

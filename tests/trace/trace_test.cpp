@@ -9,15 +9,28 @@ TEST(TraceRecord, Factories) {
   const TraceRecord l = TraceRecord::load(0x100, 4);
   EXPECT_EQ(l.type, ReqType::kLoad);
   EXPECT_EQ(l.size, 4u);
-  EXPECT_FALSE(l.fence);
-  EXPECT_FALSE(l.barrier);
+  EXPECT_TRUE(l.is_access());
+  EXPECT_FALSE(l.is_fence());
+  EXPECT_FALSE(l.is_barrier());
+  EXPECT_EQ(l.access_addr(), 0x100u);
 
   const TraceRecord s = TraceRecord::store(0x200, 8);
   EXPECT_EQ(s.type, ReqType::kStore);
 
-  EXPECT_TRUE(TraceRecord::make_fence().fence);
-  EXPECT_TRUE(TraceRecord::make_barrier().barrier);
+  EXPECT_TRUE(TraceRecord::make_fence().is_fence());
+  EXPECT_TRUE(TraceRecord::make_barrier().is_barrier());
+  EXPECT_FALSE(TraceRecord::make_fence().is_access());
+  EXPECT_FALSE(TraceRecord::make_barrier().is_access());
 }
+
+#ifndef NDEBUG
+TEST(TraceRecordDeathTest, MarkerAddressIsALogicError) {
+  // Markers must never be readable as real accesses: the checked accessors
+  // trip an assert in debug builds instead of handing out a phantom addr 0.
+  EXPECT_DEATH((void)TraceRecord::make_fence().access_addr(), "marker");
+  EXPECT_DEATH((void)TraceRecord::make_barrier().access_size(), "marker");
+}
+#endif
 
 TEST(TraceProfile, CountsAndFootprint) {
   MultiTrace mt;
@@ -58,9 +71,9 @@ TEST(TraceIo, SaveLoadRoundTrip) {
   EXPECT_EQ(back.per_core[0][0].addr, 0xDEADBEEFu);
   EXPECT_EQ(back.per_core[0][1].type, ReqType::kStore);
   EXPECT_EQ(back.per_core[0][1].size, 2u);
-  EXPECT_TRUE(back.per_core[0][2].fence);
+  EXPECT_TRUE(back.per_core[0][2].is_fence());
   EXPECT_TRUE(back.per_core[1].empty());
-  EXPECT_TRUE(back.per_core[2][0].barrier);
+  EXPECT_TRUE(back.per_core[2][0].is_barrier());
   EXPECT_EQ(back.per_core[2][1].size, 1u);
 }
 

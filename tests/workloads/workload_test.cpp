@@ -108,7 +108,7 @@ TEST_P(WorkloadParamTest, BarriersArePairwiseMatched) {
   std::uint64_t expected = ~0ULL;
   for (const auto& stream : mt.per_core) {
     std::uint64_t count = 0;
-    for (const auto& r : stream) count += r.barrier ? 1 : 0;
+    for (const auto& r : stream) count += r.is_barrier() ? 1 : 0;
     if (expected == ~0ULL) expected = count;
     EXPECT_EQ(count, expected);
   }
@@ -166,13 +166,13 @@ TEST(WorkloadShapes, SharedDataIsActuallyShared) {
   const auto mt = make_workload("cg")->generate(p);
   std::set<Addr> core0_lines;
   for (const auto& r : mt.per_core[0]) {
-    if (!r.barrier && !r.fence) {
-      core0_lines.insert(align_down(r.addr, 64));
+    if (r.is_access()) {
+      core0_lines.insert(align_down(r.access_addr(), 64));
     }
   }
   std::uint64_t overlap = 0;
   for (const auto& r : mt.per_core[1]) {
-    if (!r.barrier && !r.fence && core0_lines.count(align_down(r.addr, 64))) {
+    if (r.is_access() && core0_lines.count(align_down(r.access_addr(), 64))) {
       ++overlap;
     }
   }
