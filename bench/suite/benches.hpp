@@ -22,5 +22,6 @@ SuiteBench make_ablation_pipeline();
 SuiteBench make_ablation_hmc_paging();
 SuiteBench make_ablation_scheduler();
 SuiteBench make_ablation_warp();
+SuiteBench make_ablation_hybrid();
 
 }  // namespace hmcc::bench

@@ -20,6 +20,7 @@ const std::vector<SuiteBench>& suite_benches() {
       make_ablation_hmc_paging(),
       make_ablation_scheduler(),
       make_ablation_warp(),
+      make_ablation_hybrid(),
   };
   return benches;
 }

@@ -38,6 +38,11 @@ struct SuiteBench {
   /// bench_suite, and the standalone drivers all read this ONE record.
   /// meta.name doubles as the CSV stem and suite filter key, e.g. "fig08".
   desc::BenchMeta meta{.default_accesses = 15000};
+  /// False = registered (so --list, only=, the standalone binary, and the
+  /// daemon all reach it) but excluded from bench_suite's run-everything
+  /// default selection — for benches added after the suite's stdout+CSV
+  /// bundle was pinned by the byte-identity golden.
+  bool in_default_suite = true;
   /// Build this bench's tasks for @p env. May be empty (pure-arithmetic
   /// figures compute everything in format()).
   std::function<std::vector<SuiteTask>(const BenchEnv&)> tasks;

@@ -142,7 +142,9 @@ int main(int argc, char** argv) {
   std::vector<const SuiteBench*> selected;
   const std::string only = cli.get_string("only", "");
   if (only.empty()) {
-    for (const SuiteBench& b : suite_benches()) selected.push_back(&b);
+    for (const SuiteBench& b : suite_benches()) {
+      if (b.in_default_suite) selected.push_back(&b);
+    }
   } else {
     for (const std::string& name : split_csv_list(only)) {
       const SuiteBench* b = find_bench(name);

@@ -67,6 +67,20 @@ class Hierarchy {
   }
   [[nodiscard]] const Cache& llc() const noexcept { return *llc_; }
 
+  /// Return an access result's write-back vector to the arena free list
+  /// (cfg.enable_pool only; otherwise a no-op and the vector just frees).
+  /// Capacity-less vectors are dropped — recycling them would grow the
+  /// free list without saving an allocation.
+  void recycle(std::vector<Addr>&& writebacks);
+
+  /// Arena accounting (tests): vectors served fresh vs from the free list.
+  [[nodiscard]] std::uint64_t pool_fresh() const noexcept {
+    return pool_fresh_;
+  }
+  [[nodiscard]] std::uint64_t pool_reused() const noexcept {
+    return pool_reused_;
+  }
+
   void reset();
 
   /// The hierarchy's metric schema: per-level cache counters as the
@@ -80,6 +94,10 @@ class Hierarchy {
   std::vector<std::unique_ptr<Cache>> l1_;
   std::vector<std::unique_ptr<Cache>> l2_;
   std::unique_ptr<Cache> llc_;
+  /// Free list of capacity-retaining write-back vectors (enable_pool).
+  std::vector<std::vector<Addr>> wb_pool_;
+  std::uint64_t pool_fresh_ = 0;
+  std::uint64_t pool_reused_ = 0;
 };
 
 }  // namespace hmcc::cache

@@ -29,6 +29,17 @@ MshrFile::Outcome MshrFile::on_miss(Addr line_addr, MshrTarget target) {
     if (!e.valid) {
       e.valid = true;
       e.line = line_addr;
+      if (pool_enabled_ && e.targets.capacity() == 0) {
+        // on_fill moved this entry's vector out; replace it from the
+        // free list before the push_back below allocates a fresh one.
+        if (!target_pool_.empty()) {
+          e.targets = std::move(target_pool_.back());
+          target_pool_.pop_back();
+          ++pool_reused_;
+        } else {
+          ++pool_fresh_;
+        }
+      }
       e.targets.clear();
       e.targets.push_back(target);
       ++used_;
@@ -55,6 +66,12 @@ bool MshrFile::contains(Addr line_addr) const {
   return const_cast<MshrFile*>(this)->find(line_addr) != nullptr;
 }
 
+void MshrFile::recycle(std::vector<MshrTarget>&& targets) {
+  if (!pool_enabled_ || targets.capacity() == 0) return;
+  targets.clear();
+  target_pool_.push_back(std::move(targets));
+}
+
 void MshrFile::reset() {
   for (Entry& e : entries_) {
     e.valid = false;
@@ -62,6 +79,10 @@ void MshrFile::reset() {
   }
   used_ = 0;
   stats_ = MshrStats{};
+  target_pool_.clear();
+  target_pool_.shrink_to_fit();
+  pool_fresh_ = 0;
+  pool_reused_ = 0;
 }
 
 }  // namespace hmcc::cache

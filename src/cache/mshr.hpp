@@ -54,6 +54,20 @@ class MshrFile {
   [[nodiscard]] bool full() const noexcept { return used_ == capacity(); }
   [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
 
+  /// Recycle target vectors through an arena free list (the coalescer
+  /// PacketPool idiom): allocations draw from vectors handed back via
+  /// recycle() instead of growing fresh ones. Never changes an outcome.
+  void enable_pool(bool on) noexcept { pool_enabled_ = on; }
+  /// Hand an on_fill() result's vector back to the free list (pool mode
+  /// only; a no-op otherwise, and capacity-less vectors are dropped).
+  void recycle(std::vector<MshrTarget>&& targets);
+  [[nodiscard]] std::uint64_t pool_fresh() const noexcept {
+    return pool_fresh_;
+  }
+  [[nodiscard]] std::uint64_t pool_reused() const noexcept {
+    return pool_reused_;
+  }
+
   void reset();
 
  private:
@@ -69,6 +83,10 @@ class MshrFile {
   std::uint32_t max_subentries_;
   std::uint32_t used_ = 0;
   MshrStats stats_;
+  bool pool_enabled_ = false;
+  std::vector<std::vector<MshrTarget>> target_pool_;
+  std::uint64_t pool_fresh_ = 0;
+  std::uint64_t pool_reused_ = 0;
 };
 
 }  // namespace hmcc::cache

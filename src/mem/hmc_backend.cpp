@@ -1,0 +1,41 @@
+#include "mem/hmc_backend.hpp"
+
+#include <cassert>
+
+#include "hmc/packet.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace hmcc::mem {
+
+HmcBackend::HmcBackend(Kernel& kernel, const hmc::HmcConfig& cfg,
+                       CompleteFn on_complete)
+    : hmc_(kernel, cfg), on_complete_(std::move(on_complete)) {}
+
+void HmcBackend::set_trace(obs::TraceWriter* trace) {
+  trace_ = trace;
+  hmc_.set_trace(trace);
+}
+
+void HmcBackend::submit(const coalescer::CoalescedPacket& pkt) {
+  hmc::RequestPacket hp{};
+  hp.id = pkt.id;
+  hp.addr = pkt.addr;
+  const auto cmd = hmc::command_for(pkt.type, pkt.bytes);
+  assert(cmd.has_value());
+  hp.cmd = *cmd;
+  if (trace_ != nullptr) {
+    const std::uint32_t vault = hmc_.address_map().decode(pkt.addr).vault;
+    hmc_.submit(hp, [this, vault](const hmc::ResponsePacket& resp) {
+      trace_->complete("hmc_pkt", "hmc",
+          static_cast<double>(resp.submitted_at) * arch::kNsPerCycle,
+          static_cast<double>(resp.latency()) * arch::kNsPerCycle, vault);
+      on_complete_(resp.id);
+    });
+    return;
+  }
+  hmc_.submit(hp, [this](const hmc::ResponsePacket& resp) {
+    on_complete_(resp.id);
+  });
+}
+
+}  // namespace hmcc::mem

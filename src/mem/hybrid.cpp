@@ -1,0 +1,320 @@
+#include "mem/hybrid.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "hmc/packet.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace hmcc::mem {
+
+namespace {
+/// Migration/fill packets carry ids far above any coalescer-assigned
+/// demand id, so completion plumbing can never confuse the two streams.
+constexpr ReqId kMigrationIdBase = 1ULL << 62;
+}  // namespace
+
+HybridBackend::HybridBackend(Kernel& kernel, const hmc::HmcConfig& hmc_cfg,
+                             const MemConfig& cfg, CompleteFn on_complete)
+    : kernel_(kernel),
+      cfg_(cfg),
+      fast_(kernel, hmc_cfg,
+            [this](ReqId id) {
+              auto it = inflight_.find(id);
+              if (it != inflight_.end()) {
+                stats_.demand_latency.add(
+                    static_cast<double>(kernel_.now() - it->second));
+                inflight_.erase(it);
+              }
+              on_complete_(id);
+            }),
+      slow_(kernel, cfg.slow),
+      on_complete_(std::move(on_complete)) {
+  if (cfg_.tiered()) {
+    num_sets_ = cfg_.fast_pages / cfg_.tag_ways;
+    assert(is_pow2(num_sets_));
+    table_.resize(cfg_.fast_pages);
+  }
+}
+
+void HybridBackend::set_trace(obs::TraceWriter* trace) {
+  trace_ = trace;
+  fast_.set_trace(trace);
+}
+
+std::uint64_t HybridBackend::outstanding() const noexcept {
+  return fast_.outstanding() + slow_.outstanding() + stalled_demands_;
+}
+
+HybridBackend::TagEntry* HybridBackend::lookup(std::uint64_t page) noexcept {
+  TagEntry* e = set_begin(page);
+  for (std::uint32_t w = 0; w < cfg_.tag_ways; ++w) {
+    if (e[w].valid && e[w].page == page) return &e[w];
+  }
+  return nullptr;
+}
+
+HybridBackend::TagEntry* HybridBackend::pick_victim(
+    std::uint64_t page) noexcept {
+  TagEntry* e = set_begin(page);
+  TagEntry* lru = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.tag_ways; ++w) {
+    if (!e[w].valid) return &e[w];
+    if (e[w].pending) continue;  // never evict a page mid-fill
+    if (lru == nullptr || e[w].last_use < lru->last_use) lru = &e[w];
+  }
+  return lru;
+}
+
+void HybridBackend::note_fast_demand(const coalescer::CoalescedPacket& pkt) {
+  ++stats_.fast_hits;
+  inflight_.emplace(pkt.id, kernel_.now());
+}
+
+void HybridBackend::serve_slow_demand(const coalescer::CoalescedPacket& pkt) {
+  ++stats_.slow_accesses;
+  const ReqId id = pkt.id;
+  const Cycle submitted = kernel_.now();
+  slow_.submit(pkt.addr, pkt.bytes, pkt.type, [this, id, submitted] {
+    stats_.demand_latency.add(static_cast<double>(kernel_.now() - submitted));
+    on_complete_(id);
+  });
+}
+
+void HybridBackend::fill_fast(Addr base, std::uint32_t bytes) {
+  const std::uint32_t chunk =
+      bytes < hmcspec::kMaxRequestBytes ? bytes : hmcspec::kMaxRequestBytes;
+  for (std::uint32_t off = 0; off < bytes; off += chunk) {
+    hmc::RequestPacket hp{};
+    hp.id = kMigrationIdBase + next_migration_id_++;
+    hp.addr = base + off;
+    const auto cmd = hmc::command_for(ReqType::kStore, chunk);
+    assert(cmd.has_value());
+    hp.cmd = *cmd;
+    ++stats_.migration_packets;
+    fast_.device().submit(hp, [](const hmc::ResponsePacket&) {});
+  }
+}
+
+void HybridBackend::writeback_slow(Addr base, std::uint32_t bytes) {
+  ++stats_.migration_packets;
+  slow_.submit(base, bytes, ReqType::kStore, [] {});
+}
+
+void HybridBackend::submit(const coalescer::CoalescedPacket& pkt) {
+  if (!cfg_.tiered()) {
+    // Unbounded fast tier: the literal HmcBackend path (CI's degenerate
+    // byte-identity point), with only hit/latency accounting on top.
+    note_fast_demand(pkt);
+    fast_.submit(pkt);
+    return;
+  }
+  switch (cfg_.scheme) {
+    case HybridScheme::kCache: submit_cache(pkt); return;
+    case HybridScheme::kMigrate: submit_migrate(pkt); return;
+    case HybridScheme::kStatic: submit_static(pkt); return;
+  }
+}
+
+void HybridBackend::submit_static(const coalescer::CoalescedPacket& pkt) {
+  if (fast_homed(page_of(pkt.addr))) {
+    note_fast_demand(pkt);
+    fast_.submit(pkt);
+  } else {
+    serve_slow_demand(pkt);
+  }
+}
+
+void HybridBackend::submit_cache(const coalescer::CoalescedPacket& pkt) {
+  const std::uint64_t page = page_of(pkt.addr);
+  const bool store = pkt.type == ReqType::kStore;
+  if (TagEntry* e = lookup(page)) {
+    e->last_use = ++lru_clock_;
+    e->dirty = e->dirty || store;
+    if (e->pending) {
+      // Fill in flight: stall behind it, released FIFO at fill time.
+      e->waiters.push_back(pkt);
+      ++stalled_demands_;
+      return;
+    }
+    note_fast_demand(pkt);
+    fast_.submit(pkt);
+    return;
+  }
+  TagEntry* victim = pick_victim(page);
+  if (victim == nullptr) {
+    // Every way of the set is mid-fill: bypass to the capacity tier
+    // rather than queueing unboundedly (MSHR-pressure escape hatch).
+    serve_slow_demand(pkt);
+    return;
+  }
+  if (victim->valid) {
+    ++stats_.demotions;
+    if (victim->dirty) {
+      ++stats_.dirty_writebacks;
+      stats_.migration_bytes += cfg_.page_bytes;
+      writeback_slow(victim->page * cfg_.page_bytes, cfg_.page_bytes);
+    }
+  }
+  victim->page = page;
+  victim->last_use = ++lru_clock_;
+  victim->valid = true;
+  victim->dirty = store;
+  victim->pending = true;
+  victim->waiters.push_back(pkt);
+  ++stalled_demands_;
+  ++stats_.page_fills;
+  ++stats_.migration_packets;
+  stats_.migration_bytes += cfg_.page_bytes;
+  const Cycle start = kernel_.now();
+  slow_.submit(page * cfg_.page_bytes, cfg_.page_bytes, ReqType::kLoad,
+               [this, page, start] {
+    TagEntry* e = lookup(page);
+    assert(e != nullptr && e->pending);  // pending ways are never evicted
+    if (trace_ != nullptr) {
+      trace_->complete("page_fill", "mem",
+                       static_cast<double>(start) * arch::kNsPerCycle,
+                       static_cast<double>(kernel_.now() - start) *
+                           arch::kNsPerCycle);
+    }
+    fill_fast(page * cfg_.page_bytes, cfg_.page_bytes);
+    e->pending = false;
+    for (coalescer::CoalescedPacket& w : e->waiters) {
+      --stalled_demands_;
+      note_fast_demand(w);
+      fast_.submit(w);
+    }
+    e->waiters.clear();
+  });
+}
+
+void HybridBackend::submit_migrate(const coalescer::CoalescedPacket& pkt) {
+  if (!epoch_armed_) {
+    epoch_armed_ = true;
+    kernel_.schedule(cfg_.migrate_epoch, [this] { run_epoch(); });
+  }
+  const std::uint64_t page = page_of(pkt.addr);
+  if (fast_homed(page)) {
+    note_fast_demand(pkt);
+    fast_.submit(pkt);
+    return;
+  }
+  if (TagEntry* e = lookup(page)) {
+    e->last_use = ++lru_clock_;
+    e->dirty = e->dirty || pkt.type == ReqType::kStore;
+    note_fast_demand(pkt);
+    fast_.submit(pkt);
+    return;
+  }
+  auto [it, fresh] = epoch_index_.try_emplace(page, epoch_counts_.size());
+  if (fresh) {
+    epoch_counts_.emplace_back(page, 1u);
+  } else {
+    ++epoch_counts_[it->second].second;
+  }
+  serve_slow_demand(pkt);
+}
+
+void HybridBackend::run_epoch() {
+  ++stats_.epochs;
+  epoch_armed_ = false;  // a later submit re-arms; an idle kernel drains
+  for (const auto& [page, count] : epoch_counts_) {
+    if (count < cfg_.hot_threshold) continue;
+    TagEntry* victim = pick_victim(page);
+    if (victim == nullptr) continue;
+    if (victim->valid) {
+      ++stats_.demotions;
+      if (victim->dirty) {
+        ++stats_.dirty_writebacks;
+        stats_.migration_bytes += cfg_.page_bytes;
+        writeback_slow(victim->page * cfg_.page_bytes, cfg_.page_bytes);
+      }
+    }
+    victim->page = page;
+    victim->last_use = ++lru_clock_;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->pending = false;
+    ++stats_.promotions;
+    ++stats_.migration_packets;
+    stats_.migration_bytes += cfg_.page_bytes;
+    // Residency flips eagerly; the data movement is real background
+    // traffic — a page read on the slow channels, then fill writes
+    // contending with demand in the cube.
+    const Cycle start = kernel_.now();
+    slow_.submit(page * cfg_.page_bytes, cfg_.page_bytes, ReqType::kLoad,
+                 [this, page, start] {
+      if (trace_ != nullptr) {
+        trace_->complete("page_migration", "mem",
+                         static_cast<double>(start) * arch::kNsPerCycle,
+                         static_cast<double>(kernel_.now() - start) *
+                             arch::kNsPerCycle);
+      }
+      fill_fast(page * cfg_.page_bytes, cfg_.page_bytes);
+    });
+  }
+  epoch_counts_.clear();
+  epoch_index_.clear();
+}
+
+MemTierStats HybridBackend::tier_stats() const {
+  MemTierStats t = stats_;
+  const SlowTierStats& s = slow_.stats();
+  t.slow_row_hits = s.row_hits;
+  t.slow_row_conflicts = s.row_conflicts;
+  return t;
+}
+
+desc::StatSet HybridBackend::stat_descriptors() const {
+  desc::StatSet set = fast_.stat_descriptors();
+  const MemTierStats& t = stats_;
+  const SlowTierStats& s = slow_.stats();
+  set.counter("hmcc_mem_fast_hits_total",
+              "Demand packets served by the fast (HMC) tier",
+              [&t] { return t.fast_hits; });
+  set.counter("hmcc_mem_slow_accesses_total",
+              "Demand packets served by the slow tier",
+              [&t] { return t.slow_accesses; });
+  set.counter("hmcc_mem_page_fills_total",
+              "Cache-scheme page fills issued on tag misses",
+              [&t] { return t.page_fills; });
+  set.counter("hmcc_mem_promotions_total",
+              "Migrate-scheme slow-to-fast page promotions",
+              [&t] { return t.promotions; });
+  set.counter("hmcc_mem_demotions_total",
+              "Fast-tier pages evicted or demoted to the slow tier",
+              [&t] { return t.demotions; });
+  set.counter("hmcc_mem_dirty_writebacks_total",
+              "Demotions that wrote a dirty page back to the slow tier",
+              [&t] { return t.dirty_writebacks; });
+  set.counter("hmcc_mem_migration_packets_total",
+              "Fill/migration packets issued between the tiers",
+              [&t] { return t.migration_packets; });
+  set.counter("hmcc_mem_migration_bytes_total",
+              "Payload bytes moved between the tiers",
+              [&t] { return t.migration_bytes; });
+  set.counter("hmcc_mem_epochs_total", "Migration epochs evaluated",
+              [&t] { return t.epochs; });
+  set.gauge("hmcc_mem_fast_hit_rate",
+            "Fraction of demand packets served by the fast tier",
+            [&t] { return t.fast_hit_rate(); });
+  set.gauge("hmcc_mem_demand_latency_mean_cycles",
+            "Mean demand-packet service latency across both tiers",
+            [&t] { return t.demand_latency.mean(); });
+  set.counter("hmcc_mem_slow_reads_total",
+              "Slow-tier reads (demand plus fills)",
+              [&s] { return s.reads; });
+  set.counter("hmcc_mem_slow_writes_total",
+              "Slow-tier writes (demand plus write-backs)",
+              [&s] { return s.writes; });
+  set.counter("hmcc_mem_slow_row_hits_total", "Slow-tier open-row hits",
+              [&s] { return s.row_hits; });
+  set.counter("hmcc_mem_slow_row_conflicts_total", "Slow-tier row conflicts",
+              [&s] { return s.row_conflicts; });
+  set.gauge("hmcc_mem_slow_latency_mean_cycles",
+            "Mean slow-tier service latency in cycles",
+            [&s] { return s.latency.mean(); });
+  return set;
+}
+
+}  // namespace hmcc::mem

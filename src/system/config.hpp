@@ -10,6 +10,7 @@
 #include "coalescer/config.hpp"
 #include "common/types.hpp"
 #include "hmc/config.hpp"
+#include "mem/config.hpp"
 
 namespace hmcc::system {
 
@@ -101,6 +102,7 @@ struct TraceIoConfig {
 struct SystemConfig {
   cache::HierarchyConfig hierarchy{};  // 12 cores, 16 LLC MSHRs
   hmc::HmcConfig hmc{};                // 8 GB, 256 B blocks
+  mem::MemConfig mem{};                // mem=hmc: the bare cube (default)
   coalescer::CoalescerConfig coalescer{};
   CoreConfig core{};
   CoalescerMode mode = CoalescerMode::kFull;
@@ -142,8 +144,20 @@ struct SystemConfig {
   // timings above.
   const Cycle sched_drain =
       static_cast<Cycle>(h.vault_queue_depth) * h.vault_ctrl_latency;
+  // Non-default memory backends add the slow tier's unloaded service time
+  // for one page-sized transfer (a fill read is the longest routine event
+  // the hybrid schedules). The default `mem=hmc` budget is untouched, so
+  // the default ring size — and with it every default-path allocation
+  // pattern — stays exactly what it was before the backend seam.
+  Cycle slow_round_trip = 0;
+  if (cfg.mem.backend != mem::BackendKind::kHmc) {
+    const auto& s = cfg.mem.slow;
+    slow_round_trip = s.ctrl_latency + s.t_rp + s.t_rcd + s.t_cl +
+                      s.t_column_burst *
+                          static_cast<Cycle>(cfg.mem.page_bytes / 32);
+  }
   return link_round_trip + dram_row_cycle + coalescer_window +
-         noc_round_trip + sched_drain;
+         noc_round_trip + sched_drain + slow_round_trip;
 }
 
 /// Derive the coalescer flag set for @p mode (leaves other knobs intact).

@@ -272,9 +272,13 @@ std::vector<Knob<SystemConfig>> build_platform_knobs() {
       u("bound", "vault-parallel lane bound in cycles (0 = auto)", 0, kCycleMax,
         [](const SystemConfig& c) { return c.exec.bound; },
         [](SystemConfig& c, std::uint64_t v) { c.exec.bound = v; }));
-  t.push_back(b("pool", "arena packet pools in the coalescer hot path",
+  t.push_back(b("pool",
+                "arena pools in the coalescer and cache-hierarchy hot paths",
                 [](const SystemConfig& c) { return c.coalescer.enable_pool; },
-                [](SystemConfig& c, bool v) { c.coalescer.enable_pool = v; }));
+                [](SystemConfig& c, bool v) {
+                  c.coalescer.enable_pool = v;
+                  c.hierarchy.enable_pool = v;
+                }));
 
   // Observability (defaults off: no registry, no trace, byte-identical
   // output to an uninstrumented run).
@@ -294,6 +298,103 @@ std::vector<Knob<SystemConfig>> build_platform_knobs() {
         0, 1ULL << 40,
         [](const SystemConfig& c) { return c.obs.sample_interval; },
         [](SystemConfig& c, std::uint64_t v) { c.obs.sample_interval = v; }));
+
+  // Memory backend (src/mem). The default, mem=hmc, is the bare cube and
+  // byte-identical to the pre-seam simulator; mem=slow swaps in the flat
+  // capacity tier; mem=hybrid composes both behind the hot-page tag table
+  // (scheme= picks the policy). fast_pages=0 leaves the hybrid fast tier
+  // unbounded — the degenerate point CI's byte-identity gate runs.
+  t.push_back(desc::enum_knob<SystemConfig>(
+      "mem", "platform", "memory backend: hmc|slow|hybrid",
+      {"hmc", "slow", "hybrid"},
+      [](const SystemConfig& c) {
+        return std::string(mem::to_string(c.mem.backend));
+      },
+      [](SystemConfig& c, const std::string& v) {
+        if (v == "slow") {
+          c.mem.backend = mem::BackendKind::kSlow;
+        } else if (v == "hybrid") {
+          c.mem.backend = mem::BackendKind::kHybrid;
+        } else {
+          c.mem.backend = mem::BackendKind::kHmc;
+        }
+      }));
+  t.push_back(desc::enum_knob<SystemConfig>(
+      "scheme", "platform", "hybrid tiering policy: cache|migrate|static",
+      {"cache", "migrate", "static"},
+      [](const SystemConfig& c) {
+        return std::string(mem::to_string(c.mem.scheme));
+      },
+      [](SystemConfig& c, const std::string& v) {
+        if (v == "migrate") {
+          c.mem.scheme = mem::HybridScheme::kMigrate;
+        } else if (v == "static") {
+          c.mem.scheme = mem::HybridScheme::kStatic;
+        } else {
+          c.mem.scheme = mem::HybridScheme::kCache;
+        }
+      }));
+  t.push_back(u("page_bytes", "tiering page size (power of two)", 64, 1u << 20,
+                [](const SystemConfig& c) { return c.mem.page_bytes; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.mem.page_bytes = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(
+      u("fast_pages", "hybrid fast-tier capacity in pages (0 = unbounded)", 0,
+        1ULL << 32,
+        [](const SystemConfig& c) { return c.mem.fast_pages; },
+        [](SystemConfig& c, std::uint64_t v) { c.mem.fast_pages = v; }));
+  t.push_back(u("tag_ways", "hot-page tag table associativity", 1, 1024,
+                [](const SystemConfig& c) { return c.mem.tag_ways; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.mem.tag_ways = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("migrate_epoch", "migration epoch length (cycles)", 1,
+                1ULL << 40,
+                [](const SystemConfig& c) { return c.mem.migrate_epoch; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.mem.migrate_epoch = v;
+                }));
+  t.push_back(u("hot_threshold",
+                "per-epoch accesses that make a slow page promotion-worthy",
+                1, 1u << 20,
+                [](const SystemConfig& c) { return c.mem.hot_threshold; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.mem.hot_threshold = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(u("slow_channels", "slow-tier channel count", 1, 64,
+                [](const SystemConfig& c) { return c.mem.slow.num_channels; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.mem.slow.num_channels = static_cast<std::uint32_t>(v);
+                }));
+  t.push_back(
+      u("slow_ctrl", "slow-tier controller latency (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.mem.slow.ctrl_latency; },
+        [](SystemConfig& c, std::uint64_t v) { c.mem.slow.ctrl_latency = v; }));
+  t.push_back(
+      u("slow_t_rcd", "slow-tier tRCD (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.mem.slow.t_rcd; },
+        [](SystemConfig& c, std::uint64_t v) { c.mem.slow.t_rcd = v; }));
+  t.push_back(
+      u("slow_t_cl", "slow-tier tCL (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.mem.slow.t_cl; },
+        [](SystemConfig& c, std::uint64_t v) { c.mem.slow.t_cl = v; }));
+  t.push_back(
+      u("slow_t_rp", "slow-tier tRP (cycles)", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.mem.slow.t_rp; },
+        [](SystemConfig& c, std::uint64_t v) { c.mem.slow.t_rp = v; }));
+  t.push_back(
+      u("slow_burst", "slow-tier cycles per 32 B column", 0, kCycleMax,
+        [](const SystemConfig& c) { return c.mem.slow.t_column_burst; },
+        [](SystemConfig& c, std::uint64_t v) {
+          c.mem.slow.t_column_burst = v;
+        }));
+  t.push_back(u("slow_row_bytes", "slow-tier row size (power of two)", 64,
+                1u << 20,
+                [](const SystemConfig& c) { return c.mem.slow.row_bytes; },
+                [](SystemConfig& c, std::uint64_t v) {
+                  c.mem.slow.row_bytes = static_cast<std::uint32_t>(v);
+                }));
 
   // Trace corpus record/replay (src/trace/codec.hpp). Defaults off.
   t.push_back(desc::string_knob<SystemConfig>(
@@ -365,6 +466,31 @@ std::vector<desc::Constraint<SystemConfig>> build_platform_constraints() {
                   return c.exec.bound == 0 || c.exec.vault_parallel
                              ? std::string()
                              : "requires vault_parallel=on";
+                }});
+  t.push_back(C{"page_bytes", [](const SystemConfig& c) {
+                  return is_pow2(c.mem.page_bytes) && c.mem.page_bytes >= 64
+                             ? std::string()
+                             : "must be a power of two >= 64";
+                }});
+  t.push_back(C{"fast_pages", [](const SystemConfig& c) {
+                  if (c.mem.backend != mem::BackendKind::kHybrid ||
+                      c.mem.fast_pages == 0) {
+                    return std::string();
+                  }
+                  const bool ok =
+                      c.mem.tag_ways != 0 &&
+                      c.mem.fast_pages % c.mem.tag_ways == 0 &&
+                      is_pow2(c.mem.fast_pages / c.mem.tag_ways);
+                  return ok ? std::string()
+                            : "must be tag_ways times a power of two "
+                              "(tag_ways = " +
+                                  std::to_string(c.mem.tag_ways) + ")";
+                }});
+  t.push_back(C{"slow_row_bytes", [](const SystemConfig& c) {
+                  return c.mem.slow.valid()
+                             ? std::string()
+                             : "invalid slow-tier geometry "
+                               "(channels/row_bytes)";
                 }});
   return t;
 }

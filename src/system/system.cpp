@@ -4,22 +4,23 @@
 #include <cassert>
 
 #include "common/bits.hpp"
-#include "hmc/packet.hpp"
 
 namespace hmcc::system {
 
 System::System(SystemConfig cfg)
     : cfg_(std::move(cfg)),
       kernel_(Kernel::ring_size_for(worst_case_event_delay(cfg_))),
-      hierarchy_(cfg_.hierarchy),
-      hmc_(kernel_, cfg_.hmc) {
+      hierarchy_(cfg_.hierarchy) {
   apply_mode(cfg_, cfg_.mode);  // keep flags consistent with the mode
+  mem_ = mem::make_backend(
+      kernel_, cfg_.hmc, cfg_.mem,
+      [this](ReqId id) { coalescer_->on_memory_response(id); });
   if (cfg_.exec.vault_parallel) {
-    hmc_.enable_vault_parallel(cfg_.exec.resolved_bound());
+    mem_->enable_vault_parallel(cfg_.exec.resolved_bound());
   }
   coalescer_ = std::make_unique<coalescer::MemoryCoalescer>(
       kernel_, cfg_.coalescer,
-      [this](const coalescer::CoalescedPacket& pkt) { on_issue(pkt); },
+      [this](const coalescer::CoalescedPacket& pkt) { mem_->submit(pkt); },
       [this](Addr line, std::uint64_t token) { on_complete(line, token); });
   if (cfg_.obs.metrics) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -27,7 +28,7 @@ System::System(SystemConfig cfg)
   if (!cfg_.obs.trace_json.empty()) {
     trace_ = std::make_unique<obs::TraceWriter>(cfg_.obs.trace_max_events);
     coalescer_->set_trace(trace_.get());
-    hmc_.set_trace(trace_.get());
+    mem_->set_trace(trace_.get());
   }
 }
 
@@ -151,9 +152,10 @@ void System::step_core(std::uint32_t core) {
   const auto chunk = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(remaining, line_end - addr));
 
-  const auto result = hierarchy_.access(core, addr, rec.type);
+  auto result = hierarchy_.access(core, addr, rec.type);
   ++cpu_accesses_;
   for (Addr wb : result.memory_writebacks) submit_writeback(wb);
+  hierarchy_.recycle(std::move(result.memory_writebacks));
 
   if (result.level == cache::HitLevel::kMemory) {
     ++cs.outstanding;
@@ -166,31 +168,6 @@ void System::step_core(std::uint32_t core) {
     cs.sub_offset = 0;
   }
   schedule_issue(core, cfg_.core.issue_interval);
-}
-
-void System::on_issue(const coalescer::CoalescedPacket& pkt) {
-  hmc::RequestPacket hp{};
-  hp.id = pkt.id;
-  hp.addr = pkt.addr;
-  const auto cmd = hmc::command_for(pkt.type, pkt.bytes);
-  assert(cmd.has_value());
-  hp.cmd = *cmd;
-  if (trace_ != nullptr) {
-    // Span per HMC transaction, one trace "thread" per vault so the vault
-    // parallelism is visible in the viewer.
-    const std::uint32_t vault = hmc_.address_map().decode(pkt.addr).vault;
-    hmc_.submit(hp, [this, vault](const hmc::ResponsePacket& resp) {
-      trace_->complete(
-          "hmc_pkt", "hmc",
-          static_cast<double>(resp.submitted_at) * arch::kNsPerCycle,
-          static_cast<double>(resp.latency()) * arch::kNsPerCycle, vault);
-      coalescer_->on_memory_response(resp.id);
-    });
-    return;
-  }
-  hmc_.submit(hp, [this](const hmc::ResponsePacket& resp) {
-    coalescer_->on_memory_response(resp.id);
-  });
 }
 
 void System::on_complete(Addr line_addr, std::uint64_t token) {
@@ -246,7 +223,7 @@ SystemReport System::run(const trace::MultiTrace& mtrace) {
   kernel_.run();
 
   SystemReport rep;
-  rep.drained = coalescer_->idle() && hmc_.outstanding() == 0;
+  rep.drained = coalescer_->idle() && mem_->outstanding() == 0;
   for (const CoreState& cs : cores_) rep.drained = rep.drained && cs.done;
   rep.runtime = last_activity_;
   rep.cpu_accesses = cpu_accesses_;
@@ -255,7 +232,8 @@ SystemReport System::run(const trace::MultiTrace& mtrace) {
   rep.memory_requests = coalescer_->stats().memory_requests;
   rep.miss_payload_bytes = miss_payload_bytes_;
   rep.coalescer = coalescer_->stats();
-  rep.hmc = hmc_.stats();
+  rep.hmc = mem_->hmc_stats();
+  rep.mem_tier = mem_->tier_stats();
   rep.llc_cache = hierarchy_.llc().stats();
 
   if (metrics_) publish_metrics(*metrics_);
@@ -265,7 +243,7 @@ SystemReport System::run(const trace::MultiTrace& mtrace) {
 
 bool System::sim_drained() const {
   if (cores_running_ > 0) return false;
-  return coalescer_->idle() && hmc_.outstanding() == 0;
+  return coalescer_->idle() && mem_->outstanding() == 0;
 }
 
 void System::arm_sampler() {
@@ -277,7 +255,7 @@ void System::arm_sampler() {
   kernel_.schedule(cfg_.obs.sample_interval, [this] {
     // Weave lanes may hold vault results not yet committed; flush so the
     // gauges observe the same state the serial kernel would show here.
-    hmc_.flush_lanes();
+    mem_->flush_lanes();
     sample_set_->sample(*metrics_);
     if (!sim_drained()) arm_sampler();
   });
@@ -286,7 +264,7 @@ void System::arm_sampler() {
 desc::StatSet System::stat_descriptors() const {
   desc::StatSet set;
   set.extend(coalescer_->stat_descriptors());
-  set.extend(hmc_.stat_descriptors());
+  set.extend(mem_->stat_descriptors());
   set.extend(hierarchy_.stat_descriptors());
   set.counter("hmcc_system_cpu_accesses_total", "CPU accesses replayed",
               [this] { return cpu_accesses_; })

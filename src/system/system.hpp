@@ -1,5 +1,7 @@
 // Full-system simulator: trace-driven cores -> L1/L2 -> shared LLC ->
-// memory coalescer (or baseline MSHR path) -> HMC device.
+// memory coalescer (or baseline MSHR path) -> pluggable memory backend
+// (mem=hmc: the paper's HMC device; mem=slow: a flat capacity tier;
+// mem=hybrid: both behind a hot-page tag table and migration engine).
 //
 // This is the equivalent of the paper's Spike + microcode + runtime stack:
 // cores replay per-thread memory traces with a bounded number of
@@ -16,6 +18,7 @@
 #include "coalescer/coalescer.hpp"
 #include "common/descriptor.hpp"
 #include "hmc/device.hpp"
+#include "mem/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_writer.hpp"
 #include "sim/kernel.hpp"
@@ -39,6 +42,8 @@ struct SystemReport {
   std::uint64_t miss_payload_bytes = 0;
   coalescer::CoalescerStats coalescer;
   hmc::HmcStats hmc;
+  /// Tier split / migration accounting; all-zero under mem=hmc.
+  mem::MemTierStats mem_tier;
   cache::CacheStats llc_cache;
 
   /// Fraction of post-LLC requests eliminated before reaching the HMC.
@@ -122,7 +127,6 @@ class System {
   void submit_miss(std::uint32_t core, Addr addr, std::uint32_t size,
                    ReqType type);
   void submit_writeback(Addr line_addr);
-  void on_issue(const coalescer::CoalescedPacket& pkt);
   void on_complete(Addr line_addr, std::uint64_t token);
   void maybe_release_barrier();
   std::uint64_t alloc_token(std::uint32_t core, bool is_store);
@@ -132,7 +136,7 @@ class System {
   SystemConfig cfg_;
   Kernel kernel_;
   cache::Hierarchy hierarchy_;
-  hmc::HmcDevice hmc_;
+  std::unique_ptr<mem::MemoryBackend> mem_;
   std::unique_ptr<coalescer::MemoryCoalescer> coalescer_;
   std::vector<CoreState> cores_;
   std::vector<Pending> pending_;

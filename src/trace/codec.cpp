@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 namespace hmcc::trace {
@@ -60,22 +61,65 @@ std::int64_t unzigzag(std::uint64_t v) {
          -static_cast<std::int64_t>(v & 1);
 }
 
-/// Bounds-checked cursor over the input buffer; every read reports a named
+/// Bounds-checked cursor over the input; every read reports a named
 /// failure instead of walking off the end.
+///
+/// Two modes share every decode path:
+///  * memory — `data/size` span the whole buffer (zero-copy, the
+///    historical behavior of decode());
+///  * streaming — `data/size` span a refillable window over `file`, and
+///    `file_left` counts the bytes beyond it. remaining() includes those
+///    unread bytes, so the absurd-count and reserve bounds behave exactly
+///    as if the file had been slurped — a corpus larger than memory only
+///    ever occupies one `chunk`-sized window of input at a time.
 struct Reader {
-  const std::uint8_t* data;
-  std::size_t size;
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
   std::size_t pos = 0;
 
-  [[nodiscard]] std::size_t remaining() const { return size - pos; }
+  std::FILE* file = nullptr;      ///< non-null = streaming mode
+  std::uint64_t file_left = 0;    ///< unread bytes beyond the window
+  std::size_t chunk = 1u << 16;   ///< refill granularity
+  std::vector<std::uint8_t> buf;  ///< the window (streaming mode only)
+  bool io_error = false;          ///< fread came up short of file_left
+
+  [[nodiscard]] std::size_t remaining() const {
+    return (size - pos) + static_cast<std::size_t>(file_left);
+  }
+
+  /// Make at least @p n contiguous bytes available at pos, refilling the
+  /// window from the file when streaming. False = the input is exhausted
+  /// (or the underlying read failed — see io_error).
+  [[nodiscard]] bool ensure(std::size_t n) {
+    if (size - pos >= n) return true;
+    if (file == nullptr || io_error) return false;
+    const std::size_t left = size - pos;
+    if (left != 0 && pos != 0) std::memmove(buf.data(), buf.data() + pos, left);
+    const std::size_t want_extra = std::max(chunk, n) - left;
+    const auto to_read = static_cast<std::size_t>(
+        std::min<std::uint64_t>(want_extra, file_left));
+    buf.resize(left + to_read);
+    if (to_read != 0) {
+      const std::size_t got = std::fread(buf.data() + left, 1, to_read, file);
+      if (got != to_read) {
+        io_error = true;
+        buf.resize(left + got);
+      }
+      file_left -= got;
+    }
+    data = buf.data();
+    size = buf.size();
+    pos = 0;
+    return !io_error && size >= n;
+  }
 
   [[nodiscard]] bool u8(std::uint8_t& v) {
-    if (pos >= size) return false;
+    if (!ensure(1)) return false;
     v = data[pos++];
     return true;
   }
   [[nodiscard]] bool u32(std::uint32_t& v) {
-    if (remaining() < 4) return false;
+    if (!ensure(4)) return false;
     v = 0;
     for (int i = 0; i < 4; ++i) {
       v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
@@ -83,7 +127,7 @@ struct Reader {
     return true;
   }
   [[nodiscard]] bool u64(std::uint64_t& v) {
-    if (remaining() < 8) return false;
+    if (!ensure(8)) return false;
     v = 0;
     for (int i = 0; i < 8; ++i) {
       v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
@@ -93,7 +137,7 @@ struct Reader {
   [[nodiscard]] CodecStatus varint(std::uint64_t& v) {
     v = 0;
     for (int shift = 0; shift < 64; shift += 7) {
-      if (pos >= size) return CodecStatus::kTruncated;
+      if (!ensure(1)) return CodecStatus::kTruncated;
       const std::uint8_t b = data[pos++];
       const std::uint64_t payload = b & 0x7F;
       if (shift == 63 && payload > 1) return CodecStatus::kVarintOverflow;
@@ -299,10 +343,13 @@ std::vector<std::uint8_t> encode(const MultiTrace& trace) {
   return out;
 }
 
-CodecResult decode(const std::uint8_t* data, std::size_t size,
-                   MultiTrace& out) {
+namespace {
+
+/// Header dispatch shared by the memory and streaming entry points: the
+/// Reader abstracts where bytes come from, so both paths run the exact
+/// same validation with the exact same failure strings.
+CodecResult decode_reader(Reader& r, MultiTrace& out) {
   out.per_core.clear();
-  Reader r{data, size};
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   if (!r.u32(magic)) return fail(CodecStatus::kTruncated, "magic");
@@ -318,6 +365,16 @@ CodecResult decode(const std::uint8_t* data, std::size_t size,
   }
   if (!res.ok()) out.per_core.clear();
   return res;
+}
+
+}  // namespace
+
+CodecResult decode(const std::uint8_t* data, std::size_t size,
+                   MultiTrace& out) {
+  Reader r;
+  r.data = data;
+  r.size = size;
+  return decode_reader(r, out);
 }
 
 CodecResult decode(const std::vector<std::uint8_t>& bytes, MultiTrace& out) {
@@ -355,6 +412,11 @@ CodecResult write_file(const MultiTrace& trace, const std::string& path) {
 }
 
 CodecResult read_file(MultiTrace& out, const std::string& path) {
+  return read_file(out, path, kReadChunkBytes);
+}
+
+CodecResult read_file(MultiTrace& out, const std::string& path,
+                      std::size_t chunk_bytes) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return fail(CodecStatus::kIoError, "cannot open " + path);
   if (std::fseek(f.get(), 0, SEEK_END) != 0) {
@@ -363,12 +425,20 @@ CodecResult read_file(MultiTrace& out, const std::string& path) {
   const long end = std::ftell(f.get());
   if (end < 0) return fail(CodecStatus::kIoError, "tell failed for " + path);
   std::rewind(f.get());
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
-  if (!bytes.empty() &&
-      std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+  // Stream the file through a bounded window instead of slurping it: the
+  // decoder only ever holds `chunk_bytes` of raw input, so a corpus file
+  // bigger than memory decodes with the same validation (remaining()
+  // counts the unread tail, keeping every bound byte-identical).
+  Reader r;
+  r.file = f.get();
+  r.file_left = static_cast<std::uint64_t>(end);
+  r.chunk = std::max<std::size_t>(chunk_bytes, 16);
+  CodecResult res = decode_reader(r, out);
+  if (r.io_error) {
+    out.per_core.clear();
     return fail(CodecStatus::kIoError, "short read from " + path);
   }
-  return decode(bytes, out);
+  return res;
 }
 
 }  // namespace hmcc::trace

@@ -89,9 +89,16 @@ struct CodecResult {
 
 /// File wrappers. Writing is atomic: the bytes land in `path + ".tmp"` and
 /// are renamed into place, so a crashed or concurrent run never leaves a
-/// half-written corpus file behind.
+/// half-written corpus file behind. Reading streams the file through a
+/// bounded window (kReadChunkBytes by default) rather than slurping it,
+/// so only the decoded records — never the raw file — are resident at
+/// once; the chunked overload exists so tests can force refills across
+/// every group boundary.
+inline constexpr std::size_t kReadChunkBytes = 64 * 1024;
 [[nodiscard]] CodecResult write_file(const MultiTrace& trace,
                                      const std::string& path);
 [[nodiscard]] CodecResult read_file(MultiTrace& out, const std::string& path);
+[[nodiscard]] CodecResult read_file(MultiTrace& out, const std::string& path,
+                                    std::size_t chunk_bytes);
 
 }  // namespace hmcc::trace

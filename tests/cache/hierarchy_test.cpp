@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/rng.hpp"
 
 namespace hmcc::cache {
@@ -109,6 +111,31 @@ TEST(Hierarchy, RandomStreamConsistentLevels) {
     const auto again = h.access(core, addr, ReqType::kLoad);
     EXPECT_EQ(again.level, HitLevel::kL1);
   }
+}
+
+TEST(Hierarchy, PooledWritebackVectorsAreIdentityPreserving) {
+  HierarchyConfig pooled_cfg = tiny_cfg();
+  pooled_cfg.enable_pool = true;
+  Hierarchy plain(tiny_cfg());
+  Hierarchy pooled(pooled_cfg);
+  // A store-heavy random stream forces dirty evictions at every level;
+  // pooled and unpooled runs must observe identical results throughout.
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    const auto core = static_cast<std::uint32_t>(rng.below(2));
+    const Addr addr = rng.below(1 << 10) * 64;
+    const ReqType type = rng.chance(0.5) ? ReqType::kStore : ReqType::kLoad;
+    auto a = plain.access(core, addr, type);
+    auto b = pooled.access(core, addr, type);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.line_addr, b.line_addr);
+    EXPECT_EQ(a.latency, b.latency);
+    ASSERT_EQ(a.memory_writebacks, b.memory_writebacks);
+    pooled.recycle(std::move(b.memory_writebacks));
+  }
+  EXPECT_GT(pooled.pool_reused(), 0u);
+  EXPECT_EQ(plain.pool_reused(), 0u);
+  EXPECT_EQ(plain.pool_fresh(), 0u);  // counters only tick in pool mode
 }
 
 TEST(Hierarchy, ResetRestoresColdState) {

@@ -73,5 +73,45 @@ TEST(Mshr, ResetClears) {
   EXPECT_EQ(mshr.stats().allocations, 0u);
 }
 
+TEST(Mshr, PooledAndUnpooledProduceIdenticalOutcomes) {
+  MshrFile plain(4);
+  MshrFile pooled(4);
+  pooled.enable_pool(true);
+  // Churn allocate/merge/fill cycles; every outcome and every returned
+  // target list must match, only the allocation source differs.
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    const Addr a = (round % 7) * 0x40;
+    const Addr b = ((round + 3) % 7) * 0x40;
+    EXPECT_EQ(plain.on_miss(a, {round}), pooled.on_miss(a, {round}));
+    EXPECT_EQ(plain.on_miss(b, {round + 100}),
+              pooled.on_miss(b, {round + 100}));
+    auto tp = plain.on_fill(a);
+    auto tq = pooled.on_fill(a);
+    ASSERT_EQ(tp.has_value(), tq.has_value());
+    if (tp.has_value()) {
+      ASSERT_EQ(tp->size(), tq->size());
+      for (std::size_t i = 0; i < tp->size(); ++i) {
+        EXPECT_EQ((*tp)[i].token, (*tq)[i].token);
+      }
+      pooled.recycle(std::move(*tq));
+    }
+  }
+  EXPECT_EQ(plain.stats().allocations, pooled.stats().allocations);
+  EXPECT_EQ(plain.stats().merges, pooled.stats().merges);
+  EXPECT_EQ(plain.stats().frees, pooled.stats().frees);
+  // The pool did its job: later allocations reuse recycled capacity.
+  EXPECT_GT(pooled.pool_reused(), 0u);
+  EXPECT_EQ(plain.pool_reused(), 0u);
+}
+
+TEST(Mshr, RecycleIgnoresCapacitylessVectors) {
+  MshrFile mshr(2);
+  mshr.enable_pool(true);
+  mshr.recycle({});  // must not enqueue an allocation-free vector
+  mshr.on_miss(0x0, {1});
+  EXPECT_EQ(mshr.pool_reused(), 0u);
+  EXPECT_GT(mshr.pool_fresh(), 0u);
+}
+
 }  // namespace
 }  // namespace hmcc::cache
